@@ -1,0 +1,52 @@
+// Ablation: server optimizer choice (Reddi et al. 2020's FedOpt family).
+//
+// The paper fixes SGD on the client and FedAdam on the server (Sec. 7.1).
+// This ablation re-runs the same AsyncFL workload with every member of the
+// family — FedSGD, FedAvgM, FedAdagrad, FedAdam, FedYogi — to show why an
+// adaptive server optimizer is the production choice: adaptive members reach
+// the target loss in comparable time, while plain FedSGD at the same server
+// learning rate converges more slowly.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "ml/optimizer.hpp"
+
+int main() {
+  using namespace papaya;
+  using namespace papaya::bench;
+
+  print_header(
+      "Ablation: server optimizer (AsyncFL, concurrency 130, K = 13)");
+  std::printf("%-12s %-18s %-14s %-10s\n", "optimizer", "time to target (h)",
+              "final loss", "reached");
+
+  const ml::ServerOptimizerKind kinds[] = {
+      ml::ServerOptimizerKind::kFedSgd, ml::ServerOptimizerKind::kFedAvgM,
+      ml::ServerOptimizerKind::kFedAdagrad, ml::ServerOptimizerKind::kFedAdam,
+      ml::ServerOptimizerKind::kFedYogi};
+
+  for (const auto kind : kinds) {
+    sim::SimulationConfig cfg = async_config(130, 13);
+    cfg.task.name = std::string("lm-") + ml::to_string(kind);
+    cfg.server_opt.kind = kind;
+    // One server lr for the whole family; adaptivity (not tuning) should
+    // carry the adaptive members.
+    cfg.server_opt.lr = 0.05f;
+    cfg.target_loss = kTargetLoss;
+    cfg.max_sim_time_s = 1.0e6;
+    cfg.record_participations = false;
+    cfg.trainer.compute_losses = true;
+
+    sim::FlSimulator simulator(cfg);
+    const sim::SimulationResult result = simulator.run();
+    std::printf("%-12s %-18.2f %-14.4f %-10s\n", ml::to_string(kind),
+                sim_hours(result.time_to_target_s), result.final_eval_loss,
+                result.reached_target ? "yes" : "NO");
+  }
+  std::printf(
+      "\nExpected shape: the adaptive members (FedAdagrad/FedAdam/FedYogi) "
+      "reach\nthe target at similar speed; FedSGD at the same lr lags — the "
+      "reason the\npaper's production setup uses FedAdam on the server.\n");
+  return 0;
+}

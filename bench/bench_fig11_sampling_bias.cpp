@@ -1,0 +1,117 @@
+// Figure 11 + Sec. 7.4 KS-test reproduction: distributions of participating
+// clients (execution time and number of training examples) under SyncFL
+// with over-selection, SyncFL without over-selection (the ground truth), and
+// AsyncFL — plus the two-sample Kolmogorov-Smirnov tests.
+//
+// Paper result: over-selection drops the slowest clients, and the slowest
+// clients have the most training examples, so SyncFL w/ OS is biased:
+// KS D = 6.6e-2 (p = 0.0) vs the ground truth, while AsyncFL matches it:
+// D = 8.8e-4 (p = 0.98).
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace papaya;
+using namespace papaya::bench;
+
+struct Contributions {
+  std::vector<double> exec_times;   // of clients whose update was applied
+  std::vector<double> num_examples;
+};
+
+Contributions run(fl::TrainingMode mode, double over_selection,
+                  std::size_t goal, std::uint64_t seed) {
+  sim::SimulationConfig cfg = mode == fl::TrainingMode::kAsync
+                                  ? async_config(130, 13, seed)
+                                  : sync_config(goal, over_selection, seed);
+  // The paper's AsyncFL rarely hits the staleness bound; at our scale the
+  // slowest clients would cross max_staleness = 100 (steps are ~4 sim-s
+  // apart), re-introducing a bias AsyncFL does not have in production.
+  cfg.task.max_staleness = 1'000'000;
+  // Production populations are ~100M devices and a device participates at
+  // most once over an experiment (participation-history tracking, Sec. 4).
+  // With a small re-participating pool, fast devices would contribute more
+  // often under AsyncFL purely because they free their slot sooner — a
+  // small-scale artifact, not the over-selection bias under study.  A large
+  // pool + once-only participation removes it.
+  cfg.population.num_devices = 20000;
+  cfg.mean_checkin_interval_s = 60.0;
+  cfg.eligibility.min_participation_interval_s = 1.0e9;
+  cfg.max_applied_updates = 6000;
+  cfg.max_sim_time_s = 4.0e6;
+  cfg.eval_every_steps = 50;  // evaluation is irrelevant here
+  sim::FlSimulator simulator(cfg);
+  const auto result = simulator.run();
+
+  Contributions out;
+  for (const auto& p : result.participations) {
+    if (!p.update_applied) continue;
+    out.exec_times.push_back(p.exec_time_s);
+    out.num_examples.push_back(static_cast<double>(p.num_examples));
+  }
+  return out;
+}
+
+void print_hist(const char* title, std::span<const double> xs) {
+  util::LogHistogram hist(0.5, 5000.0, 14);
+  for (double x : xs) hist.add(x);
+  std::printf("%s (n=%zu, mean=%.1f s)\n%s\n", title, xs.size(),
+              util::mean(xs), hist.ascii(40).c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 11 / Sec 7.4: sampling bias from over-selection");
+
+  // Ground truth: SyncFL without over-selection accepts every completing
+  // client, so its contribution distribution reflects the population.
+  const Contributions truth =
+      run(fl::TrainingMode::kSync, 0.0, /*goal=*/100, /*seed=*/7);
+  const Contributions with_os =
+      run(fl::TrainingMode::kSync, kOverSelection, /*goal=*/100, /*seed=*/7);
+  const Contributions async_fl =
+      run(fl::TrainingMode::kAsync, 0.0, /*goal=*/13, /*seed=*/7);
+
+  print_hist("SyncFL w/o over-selection (ground truth), exec time",
+             truth.exec_times);
+  print_hist("SyncFL w/ 30% over-selection, exec time", with_os.exec_times);
+  print_hist("AsyncFL, exec time", async_fl.exec_times);
+
+  std::printf("mean #examples of contributing clients:\n");
+  std::printf("  ground truth: %6.1f\n", util::mean(truth.num_examples));
+  std::printf("  sync w/ OS:   %6.1f\n", util::mean(with_os.num_examples));
+  std::printf("  async:        %6.1f\n\n", util::mean(async_fl.num_examples));
+
+  const util::KsResult ks_async =
+      util::ks_two_sample(async_fl.exec_times, truth.exec_times);
+  const util::KsResult ks_os =
+      util::ks_two_sample(with_os.exec_times, truth.exec_times);
+  std::printf("KS test vs ground truth (execution time):\n");
+  std::printf("  AsyncFL:    D = %.2e  p = %.3f   (paper: D = 8.8e-4, p = 0.98)\n",
+              ks_async.d_statistic, ks_async.p_value);
+  std::printf("  SyncFL OS:  D = %.2e  p = %.3f   (paper: D = 6.6e-2, p = 0.00)\n",
+              ks_os.d_statistic, ks_os.p_value);
+
+  const util::KsResult ks_async_ex =
+      util::ks_two_sample(async_fl.num_examples, truth.num_examples);
+  const util::KsResult ks_os_ex =
+      util::ks_two_sample(with_os.num_examples, truth.num_examples);
+  std::printf("KS test vs ground truth (#examples):\n");
+  std::printf("  AsyncFL:    D = %.2e  p = %.3f\n", ks_async_ex.d_statistic,
+              ks_async_ex.p_value);
+  std::printf("  SyncFL OS:  D = %.2e  p = %.3f\n", ks_os_ex.d_statistic,
+              ks_os_ex.p_value);
+
+  std::printf(
+      "\nExpected shape (paper): over-selection shifts the contributing "
+      "distribution\ntoward fast clients (large D, p ~ 0) and away from "
+      "data-rich clients;\nAsyncFL matches the ground truth (tiny D, large "
+      "p).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 2 reproduction: the distribution of client execution times across
+// the fleet (log-scale histogram) and the gap between the mean SyncFL round
+// duration and the mean client execution time.
+//
+// Paper result: per-client training time spans more than two orders of
+// magnitude, and with concurrency = aggregation goal = 1000 the mean round
+// duration is 21x the mean client execution time (the straggler effect).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace papaya;
+  using namespace papaya::bench;
+
+  print_header("Figure 2: client execution time distribution (log-scale x)");
+
+  // A large sampled fleet (the paper samples millions; we sample 200k).
+  sim::PopulationConfig pop_cfg = base_config().population;
+  pop_cfg.num_devices = 200000;
+  const sim::DevicePopulation population(pop_cfg);
+
+  std::vector<double> times;
+  times.reserve(population.size());
+  util::LogHistogram hist(0.5, 5000.0, 24);
+  for (const auto& d : population.devices()) {
+    times.push_back(d.mean_exec_time_s);
+    hist.add(d.mean_exec_time_s);
+  }
+  std::printf("%s\n", hist.ascii(48).c_str());
+  std::printf("exec time percentiles (s):  p1=%.1f  p50=%.1f  p99=%.1f  "
+              "(p99/p1 = %.0fx)\n\n",
+              util::percentile(times, 1.0), util::percentile(times, 50.0),
+              util::percentile(times, 99.0),
+              util::percentile(times, 99.0) / util::percentile(times, 1.0));
+
+  // Straggler effect: SyncFL with concurrency == aggregation goal (no
+  // over-selection), scaled from the paper's 1000 to 100.
+  sim::SimulationConfig cfg = sync_config(/*goal=*/100, /*over_selection=*/0.0);
+  cfg.max_server_steps = 12;
+  cfg.max_sim_time_s = 1.0e6;
+  sim::FlSimulator simulator(cfg);
+  const sim::SimulationResult result = simulator.run();
+
+  std::vector<double> exec_times;
+  for (const auto& p : result.participations) {
+    if (!p.dropped_out) exec_times.push_back(p.exec_time_s);
+  }
+  const double mean_round =
+      result.end_time_s / static_cast<double>(result.server_steps);
+  const double mean_exec = util::mean(exec_times);
+  std::printf("SyncFL, concurrency = goal = %zu (no over-selection):\n",
+              cfg.task.concurrency);
+  std::printf("  mean client execution time: %8.1f s\n", mean_exec);
+  std::printf("  mean round duration:        %8.1f s\n", mean_round);
+  std::printf("  ratio (paper: ~21x at concurrency 1000): %.1fx\n",
+              mean_round / mean_exec);
+  return 0;
+}

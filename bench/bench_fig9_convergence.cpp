@@ -1,0 +1,74 @@
+// Figure 9 reproduction: wall-clock time to reach a target loss, AsyncFL
+// speedup over SyncFL, and communication trips, as concurrency scales.
+//
+// Paper result (concurrency 130 -> 2600, scaled here to 13 -> 260+):
+//  - AsyncFL reaches the target 2x-5x faster, the gap widening with
+//    concurrency;
+//  - AsyncFL's communication-trip count stays nearly flat while SyncFL's
+//    grows, for a 2x-8x efficiency gap at high concurrency.
+// AsyncFL uses a fixed aggregation goal (paper: K=100; scaled: K=13);
+// SyncFL uses 30% over-selection (goal = concurrency / 1.3).
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace papaya;
+  using namespace papaya::bench;
+
+  print_header("Figure 9: time-to-target-loss and communication trips vs concurrency");
+  std::printf("target loss: %.2f (scaled stand-in for the paper's target)\n\n",
+              kTargetLoss);
+  std::printf("%-12s %-14s %-14s %-9s %-14s %-14s %-10s\n", "concurrency",
+              "sync (h)", "async (h)", "speedup", "sync trips", "async trips",
+              "trip ratio");
+
+  const std::vector<std::size_t> concurrencies{26, 52, 104, 208, 416};
+  for (const std::size_t concurrency : concurrencies) {
+    // SyncFL with 30% over-selection: goal = concurrency / 1.3.
+    const auto goal = static_cast<std::size_t>(
+        static_cast<double>(concurrency) / (1.0 + kOverSelection) + 0.5);
+    sim::SimulationConfig sync_cfg = sync_config(goal, kOverSelection);
+    sync_cfg.task.concurrency = concurrency;
+    sync_cfg.target_loss = kTargetLoss;
+    sync_cfg.max_sim_time_s = 4.0e5;
+    sync_cfg.record_participations = false;
+    sim::FlSimulator sync_sim(sync_cfg);
+    const sim::SimulationResult sync_result = sync_sim.run();
+
+    // AsyncFL aggregation goal: ~12.5% of concurrency, floored at 13
+    // (Sec. 7.1: "choosing K to be 10-30% of concurrency works well in
+    // practice").  Unlike the paper's Fig. 9 (K fixed at 100 up to
+    // concurrency 2600), a fixed tiny K destabilizes our miniature task at
+    // the top of the sweep — staleness grows with concurrency/K.
+    const std::size_t async_goal = std::max<std::size_t>(13, concurrency / 8);
+    sim::SimulationConfig async_cfg = async_config(concurrency, async_goal);
+    async_cfg.target_loss = kTargetLoss;
+    async_cfg.max_sim_time_s = 4.0e5;
+    async_cfg.record_participations = false;
+    sim::FlSimulator async_sim(async_cfg);
+    const sim::SimulationResult async_result = async_sim.run();
+
+    const double sync_h = sim_hours(sync_result.time_to_target_s);
+    const double async_h = sim_hours(async_result.time_to_target_s);
+    std::printf("%-12zu %-14.2f %-14.2f %-9.2f %-14llu %-14llu %-10.2f\n",
+                concurrency, sync_h, async_h, sync_h / async_h,
+                static_cast<unsigned long long>(sync_result.comm_trips),
+                static_cast<unsigned long long>(async_result.comm_trips),
+                static_cast<double>(sync_result.comm_trips) /
+                    static_cast<double>(async_result.comm_trips));
+    if (!sync_result.reached_target || !async_result.reached_target) {
+      std::printf("  (warning: target not reached within the time cap: "
+                  "sync=%d async=%d)\n",
+                  sync_result.reached_target, async_result.reached_target);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 9): speedup grows with concurrency "
+      "(2x -> 5x);\nasync trips ~flat while sync trips grow (ratio 2x -> "
+      "8x).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks for the SecAgg building blocks: mask expansion, fixed-point
+// encode, DH handshake, sealed-seed processing, Merkle proofs.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/dh.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "secagg/fixed_point.hpp"
+#include "secagg/otp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace papaya;
+
+void BM_MaskExpansion(benchmark::State& state) {
+  secagg::Seed seed{};
+  seed.fill(0x42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secagg::expand_mask(seed, n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 4));
+}
+BENCHMARK(BM_MaskExpansion)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_FixedPointEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> values(n, 0.123f);
+  const secagg::FixedPointParams fp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secagg::encode(values, fp));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FixedPointEncode)->Arg(1024)->Arg(65536);
+
+void BM_DhHandshake256(benchmark::State& state) {
+  const crypto::DhParams& params = crypto::DhParams::simulation256();
+  const util::Bytes seed(32, 0x11);
+  crypto::DhRandom random(seed);
+  const crypto::DhKeyPair server = dh_generate(params, random);
+  for (auto _ : state) {
+    const crypto::DhKeyPair client = dh_generate(params, random);
+    benchmark::DoNotOptimize(
+        dh_shared_element(params, client.private_key, server.public_key));
+  }
+}
+BENCHMARK(BM_DhHandshake256);
+
+void BM_DhHandshake1536(benchmark::State& state) {
+  const crypto::DhParams& params = crypto::DhParams::rfc3526_1536();
+  const util::Bytes seed(32, 0x11);
+  crypto::DhRandom random(seed);
+  const crypto::DhKeyPair server = dh_generate(params, random);
+  for (auto _ : state) {
+    const crypto::DhKeyPair client = dh_generate(params, random);
+    benchmark::DoNotOptimize(
+        dh_shared_element(params, client.private_key, server.public_key));
+  }
+}
+BENCHMARK(BM_DhHandshake1536);
+
+void BM_Sha256(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::Bytes data(n, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_MerkleInclusionProof(benchmark::State& state) {
+  crypto::VerifiableLog log;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    log.append("binary-" + std::to_string(i));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.prove_inclusion(i++ % n));
+  }
+}
+BENCHMARK(BM_MerkleInclusionProof)->Arg(64)->Arg(1024);
+
+void BM_MerkleVerifyInclusion(benchmark::State& state) {
+  crypto::VerifiableLog log;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    log.append("binary-" + std::to_string(i));
+  }
+  const auto proof = log.prove_inclusion(n / 2);
+  const auto snap = log.snapshot();
+  const std::string rec = "binary-" + std::to_string(n / 2);
+  const auto leaf = crypto::VerifiableLog::leaf_hash(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(rec.data()), rec.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify_inclusion(leaf, proof, snap));
+  }
+}
+BENCHMARK(BM_MerkleVerifyInclusion)->Arg(1024);
+
+}  // namespace

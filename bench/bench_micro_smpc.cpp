@@ -1,0 +1,92 @@
+// Microbenchmarks for the SMPC SecAgg baseline: Shamir split/reconstruct
+// cost vs (n, t), pairwise-mask derivation (one DH shared element + HKDF +
+// ChaCha20 expansion), and whole-round cost vs cohort size — the numbers
+// behind the Sec. 5 claim that SMPC's per-round work scales quadratically.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "crypto/dh.hpp"
+#include "smpc/protocol.hpp"
+#include "smpc/shamir.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace papaya;
+
+smpc::RandomBytesFn bench_random() {
+  auto rng = std::make_shared<util::Rng>(99);
+  return [rng](std::size_t n) {
+    util::Bytes b(n);
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng->next());
+    return b;
+  };
+}
+
+void BM_ShamirSplit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (2 * n + 2) / 3;
+  const util::Bytes secret(16, 0xab);
+  const auto rand = bench_random();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smpc::shamir_split(secret, n, t, rand));
+  }
+}
+BENCHMARK(BM_ShamirSplit)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (2 * n + 2) / 3;
+  const util::Bytes secret(16, 0xcd);
+  const auto shares = smpc::shamir_split(secret, n, t, bench_random());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smpc::shamir_reconstruct(shares, t));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PairwiseMaskSeed(benchmark::State& state) {
+  const crypto::DhParams& params = crypto::DhParams::simulation256();
+  util::Bytes seed_a{1, 2, 3};
+  util::Bytes seed_b{4, 5, 6};
+  crypto::DhRandom ra(seed_a), rb(seed_b);
+  const auto a = crypto::dh_generate(params, ra);
+  const auto b = crypto::dh_generate(params, rb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smpc::pairwise_mask_seed(params, a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_PairwiseMaskSeed)->Unit(benchmark::kMicrosecond);
+
+void BM_MaskExpansion(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const util::Bytes seed(16, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smpc::expand_mask(seed, len));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len) * 4);
+}
+BENCHMARK(BM_MaskExpansion)->Arg(1024)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SmpcFullRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kLen = 256;
+  std::vector<secagg::GroupVec> inputs(n, secagg::GroupVec(kLen, 7));
+  smpc::SmpcConfig config;
+  config.vector_length = kLen;
+  config.threshold = (2 * n + 2) / 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smpc::run_smpc_round(config, inputs, {}, n));
+  }
+}
+BENCHMARK(BM_SmpcFullRound)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Example: multi-tenant server operation (Sec. 6.2-6.3, App. E.4).
+//
+// Runs the Coordinator / Selector / Aggregator components directly (no
+// training) to demonstrate:
+//   - workload-balanced task placement across Aggregators,
+//   - capability-gated client assignment and demand pooling,
+//   - Aggregator failure detection and task reassignment with the model
+//     checkpoint surviving the move,
+//   - Selector staleness and refresh.
+//
+//   $ ./multitenant
+
+#include <cstdio>
+
+#include "fl/coordinator.hpp"
+#include "fl/selector.hpp"
+
+int main() {
+  using namespace papaya;
+
+  fl::Aggregator agg_a("agg-a"), agg_b("agg-b");
+  fl::Coordinator coordinator(/*seed=*/1);
+  coordinator.register_aggregator(agg_a, 0.0);
+  coordinator.register_aggregator(agg_b, 0.0);
+
+  // Two tenants: a big LM task (any device) and a small ranking task that
+  // requires a capability tag.
+  fl::TaskConfig lm;
+  lm.name = "keyboard-lm";
+  lm.mode = fl::TrainingMode::kAsync;
+  lm.concurrency = 1000;
+  lm.aggregation_goal = 100;
+  lm.model_size = 4096;
+  coordinator.submit_task(lm, std::vector<float>(4096, 0.0f), {});
+
+  fl::TaskConfig ranker;
+  ranker.name = "feed-ranker";
+  ranker.mode = fl::TrainingMode::kAsync;
+  ranker.concurrency = 50;
+  ranker.aggregation_goal = 10;
+  ranker.model_size = 512;
+  ranker.required_capability = "high-mem";
+  coordinator.submit_task(ranker, std::vector<float>(512, 0.5f), {});
+
+  const auto& map = coordinator.assignment_map();
+  std::printf("placement: %s -> %s, %s -> %s (workload-balanced)\n",
+              "keyboard-lm", map.task_to_aggregator.at("keyboard-lm").c_str(),
+              "feed-ranker", map.task_to_aggregator.at("feed-ranker").c_str());
+
+  // Selectors cache the assignment map.
+  fl::Selector sel_1("sel-1"), sel_2("sel-2");
+  sel_1.refresh(coordinator);
+  sel_2.refresh(coordinator);
+
+  // A low-end client is only eligible for the LM task; a high-mem client can
+  // land on either.
+  int lm_count = 0, ranker_count = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto assignment = coordinator.assign_client({{"high-mem"}});
+    if (!assignment) break;
+    coordinator.assignment_concluded(assignment->task);
+    (assignment->task == "keyboard-lm" ? lm_count : ranker_count)++;
+  }
+  std::printf("40 high-mem clients assigned: %d to keyboard-lm, %d to "
+              "feed-ranker (random over eligible tasks)\n",
+              lm_count, ranker_count);
+  const auto low_end = coordinator.assign_client({{"low-mem"}});
+  std::printf("low-mem client -> %s\n",
+              low_end ? low_end->task.c_str() : "(no eligible task)");
+  if (low_end) coordinator.assignment_concluded(low_end->task);
+
+  // Aggregator failure: only the healthy one heartbeats; the Coordinator
+  // detects the failure and moves the tasks, Selectors notice staleness.
+  const std::string failed_id =
+      map.task_to_aggregator.at("keyboard-lm");
+  fl::Aggregator& healthy = failed_id == "agg-a" ? agg_b : agg_a;
+  coordinator.aggregator_report(healthy.id(), healthy.next_report_sequence(),
+                                60.0, {});
+  const auto failed = coordinator.detect_failures(60.0, /*timeout=*/30.0);
+  std::printf("\nfailure detection: %s declared dead after missed "
+              "heartbeats\n",
+              failed.at(0).c_str());
+  std::printf("keyboard-lm reassigned to %s (checkpointed model moved: "
+              "feed-ranker[0] = %.1f)\n",
+              coordinator.assignment_map().task_to_aggregator.at("keyboard-lm").c_str(),
+              healthy.has_task("feed-ranker") ? healthy.model("feed-ranker")[0]
+                                              : 0.5f);
+
+  const bool stale_before = sel_1.is_stale(coordinator);
+  sel_1.refresh(coordinator);
+  const bool stale_after = sel_1.is_stale(coordinator);
+  std::printf("selector sel-1 stale? %s -> refresh -> stale? %s\n",
+              stale_before ? "yes" : "no", stale_after ? "yes" : "no");
+
+  // Coordinator restart: soft state is rebuilt from Aggregator reports.
+  coordinator.recover_from_aggregator_state(90.0);
+  std::printf("after coordinator recovery, keyboard-lm owner: %s\n",
+              coordinator.assignment_map().task_to_aggregator.at("keyboard-lm").c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// SMPC secure aggregation baseline: run one synchronous Bonawitz-style
+// round with dropouts at every stage, and verify the server recovers the
+// exact survivor sum without ever seeing an individual update.
+//
+//   $ ./smpc_secagg
+//
+// This is the protocol PAPAYA's Sec. 5 contrasts with Asynchronous SecAgg:
+// every client must be online across four synchronous legs, and share
+// ciphertexts grow quadratically in the cohort.  Compare with the
+// secure_aggregation example (the paper's TEE-based asynchronous protocol).
+
+#include <cstdio>
+
+#include "smpc/protocol.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace papaya;
+
+  constexpr std::size_t kClients = 10;
+  constexpr std::size_t kVectorLength = 16;
+
+  smpc::SmpcConfig config;
+  config.vector_length = kVectorLength;
+  config.threshold = 6;  // the server may never release a sum of fewer
+
+  // Each client holds a private vector over Z_2^32 (in PAPAYA these are
+  // fixed-point-encoded model updates).
+  util::Rng rng(2024);
+  std::vector<secagg::GroupVec> inputs(kClients);
+  for (auto& v : inputs) {
+    v.resize(kVectorLength);
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.next() % 1000);
+  }
+
+  // Inject dropouts at every vulnerable stage of the round:
+  //  - client 3 vanishes before sharing its Shamir shares (simply excluded),
+  //  - client 7 vanishes after sharing but before uploading (the hard case:
+  //    everyone already masked with it, so the server must reconstruct its
+  //    mask seed from the survivors' shares),
+  //  - client 9 uploads but never answers the unmasking request.
+  smpc::DropoutSchedule dropouts;
+  dropouts.before_share_keys = {3};
+  dropouts.before_masked_input = {7};
+  dropouts.before_unmasking = {9};
+
+  std::printf("running one SMPC SecAgg round: %zu clients, threshold %zu\n",
+              kClients, config.threshold);
+  std::printf("dropouts: #3 before ShareKeys, #7 before MaskedInput, #9 "
+              "before Unmasking\n\n");
+
+  const smpc::SmpcRoundResult result =
+      smpc::run_smpc_round(config, inputs, dropouts, /*seed=*/7);
+
+  std::printf("included clients:");
+  for (const std::uint32_t id : result.included) std::printf(" %u", id);
+  std::printf("\n");
+
+  // Check against the plaintext sum of exactly the included clients.
+  secagg::GroupVec expected(kVectorLength, 0);
+  for (const std::uint32_t id : result.included) {
+    secagg::add_in_place(expected, inputs[id - 1]);
+  }
+  const bool match = result.aggregate == expected;
+  std::printf("aggregate matches plaintext survivor sum: %s\n",
+              match ? "yes" : "NO");
+
+  std::printf("\ntraffic: %.1f KB up, %.1f KB down, %llu messages, %d "
+              "synchronous legs\n",
+              result.traffic.client_to_server_bytes / 1024.0,
+              result.traffic.server_to_client_bytes / 1024.0,
+              static_cast<unsigned long long>(result.traffic.messages),
+              smpc::SmpcTraffic::kSynchronousLegs);
+  std::printf(
+      "\nEvery leg is a synchronization barrier — this is why PAPAYA "
+      "replaces\nSMPC SecAgg with the TEE-based asynchronous protocol "
+      "(Sec. 5).\n");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "crypto/auth_enc.hpp"
+
+#include <array>
+
+#include "crypto/chacha20.hpp"
+
+namespace papaya::crypto {
+
+namespace {
+
+constexpr std::size_t kNonceSize = ChaCha20::kNonceSize;
+constexpr std::size_t kTagSize = 32;
+
+/// Derive independent cipher and MAC keys from the box key.
+struct Keys {
+  std::array<std::uint8_t, 32> enc;
+  std::array<std::uint8_t, 32> mac;
+};
+
+Keys derive_keys(const Digest& key) {
+  static const std::string info = "papaya-auth-enc-v1";
+  const util::Bytes okm = hkdf_sha256(
+      key, {}, {reinterpret_cast<const std::uint8_t*>(info.data()), info.size()},
+      64);
+  Keys out{};
+  std::copy(okm.begin(), okm.begin() + 32, out.enc.begin());
+  std::copy(okm.begin() + 32, okm.end(), out.mac.begin());
+  return out;
+}
+
+/// Nonce = first 4 bytes zero | 8-byte little-endian sequence number.
+std::array<std::uint8_t, kNonceSize> make_nonce(std::uint64_t sequence) {
+  std::array<std::uint8_t, kNonceSize> nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<std::uint8_t>(sequence >> (8 * i));
+  }
+  return nonce;
+}
+
+Digest compute_tag(const std::array<std::uint8_t, 32>& mac_key,
+                   std::uint64_t sequence,
+                   std::span<const std::uint8_t> nonce,
+                   std::span<const std::uint8_t> body,
+                   std::span<const std::uint8_t> associated_data) {
+  util::ByteWriter w;
+  w.u64(sequence);
+  w.bytes(nonce);
+  w.bytes(associated_data);
+  w.bytes(body);
+  return hmac_sha256(mac_key, w.data());
+}
+
+}  // namespace
+
+SealedBox seal(const Digest& key, std::uint64_t sequence,
+               std::span<const std::uint8_t> plaintext,
+               std::span<const std::uint8_t> associated_data) {
+  const Keys keys = derive_keys(key);
+  const auto nonce = make_nonce(sequence);
+
+  util::Bytes body(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(keys.enc, nonce);
+  cipher.xor_stream(body);
+
+  const Digest tag = compute_tag(keys.mac, sequence, nonce, body, associated_data);
+
+  util::Bytes out;
+  out.reserve(kNonceSize + body.size() + kTagSize);
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  out.insert(out.end(), body.begin(), body.end());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return {std::move(out)};
+}
+
+std::optional<util::Bytes> open(const Digest& key, std::uint64_t sequence,
+                                const SealedBox& box,
+                                std::span<const std::uint8_t> associated_data) {
+  const util::Bytes& ct = box.ciphertext;
+  if (ct.size() < kNonceSize + kTagSize) return std::nullopt;
+
+  const std::span<const std::uint8_t> nonce(ct.data(), kNonceSize);
+  const std::span<const std::uint8_t> body(ct.data() + kNonceSize,
+                                           ct.size() - kNonceSize - kTagSize);
+  const std::span<const std::uint8_t> tag(ct.data() + ct.size() - kTagSize,
+                                          kTagSize);
+
+  const Keys keys = derive_keys(key);
+  // The nonce must match the claimed sequence number — reject replays under
+  // a shifted sequence even before checking the MAC.
+  const auto expected_nonce = make_nonce(sequence);
+  if (!util::constant_time_equal(nonce, expected_nonce)) return std::nullopt;
+
+  const Digest expected_tag =
+      compute_tag(keys.mac, sequence, nonce, body, associated_data);
+  if (!util::constant_time_equal(tag, expected_tag)) return std::nullopt;
+
+  util::Bytes plaintext(body.begin(), body.end());
+  ChaCha20 cipher(keys.enc, expected_nonce);
+  cipher.xor_stream(plaintext);
+  return plaintext;
+}
+
+}  // namespace papaya::crypto

@@ -1,0 +1,35 @@
+#pragma once
+// Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+//
+// Fig. 16 step 4 requires that the seed the client ships to the TSA "employs
+// standard techniques like MAC and sequential number to detect any tampered
+// encryption".  The sequence number is bound into both the nonce and the MAC
+// so a ciphertext cannot be replayed under a different sequence number.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::crypto {
+
+/// Ciphertext layout: [ 12-byte nonce | body | 32-byte tag ].
+struct SealedBox {
+  util::Bytes ciphertext;
+};
+
+/// Encrypt `plaintext` under `key` (32 bytes) with the given sequence
+/// number and associated data.
+SealedBox seal(const Digest& key, std::uint64_t sequence,
+               std::span<const std::uint8_t> plaintext,
+               std::span<const std::uint8_t> associated_data = {});
+
+/// Decrypt and verify.  Returns nullopt if the MAC check fails (tampered
+/// ciphertext, wrong key, or wrong sequence number).
+std::optional<util::Bytes> open(const Digest& key, std::uint64_t sequence,
+                                const SealedBox& box,
+                                std::span<const std::uint8_t> associated_data = {});
+
+}  // namespace papaya::crypto

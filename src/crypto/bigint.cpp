@@ -1,0 +1,235 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace papaya::crypto {
+
+namespace {
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("BigUInt::from_hex: invalid hex digit");
+}
+
+}  // namespace
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_hex(const std::string& hex) {
+  BigUInt out;
+  for (char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    out = (out << 4) + BigUInt(static_cast<std::uint64_t>(hex_val(c)));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_bytes(std::span<const std::uint8_t> bytes) {
+  BigUInt out;
+  const std::size_t nlimbs = (bytes.size() + 7) / 8;
+  out.limbs_.assign(nlimbs, 0);
+  // bytes are big-endian; limb 0 is least significant.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t byte_from_lsb = bytes.size() - 1 - i;
+    out.limbs_[byte_from_lsb / 8] |= static_cast<std::uint64_t>(bytes[i])
+                                     << (8 * (byte_from_lsb % 8));
+  }
+  out.trim();
+  return out;
+}
+
+util::Bytes BigUInt::to_bytes(std::size_t width) const {
+  const std::size_t min_width = (bit_length() + 7) / 8;
+  const std::size_t w = width == 0 ? std::max<std::size_t>(min_width, 1) : width;
+  util::Bytes out(w, 0);
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t byte_from_lsb = i;
+    const std::size_t limb = byte_from_lsb / 8;
+    if (limb >= limbs_.size()) break;
+    out[w - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[limb] >> (8 * (byte_from_lsb % 8)));
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(digits[(*it >> shift) & 0xf]);
+    }
+  }
+  const auto first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+bool BigUInt::is_zero() const { return limbs_.empty(); }
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::uint64_t top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& other) const {
+  BigUInt out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned __int128 s = carry;
+    if (i < limbs_.size()) s += limbs_[i];
+    if (i < other.limbs_.size()) s += other.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out.limbs_[n] = static_cast<std::uint64_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator-(const BigUInt& other) const {
+  if (*this < other) {
+    throw std::underflow_error("BigUInt: subtraction underflow");
+  }
+  BigUInt out;
+  out.limbs_.assign(limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const std::uint64_t lhs = limbs_[i];
+    const std::uint64_t d1 = lhs - rhs;
+    const std::uint64_t b1 = lhs < rhs;
+    const std::uint64_t d2 = d1 - borrow;
+    const std::uint64_t b2 = d1 < borrow;
+    out.limbs_[i] = d2;
+    borrow = b1 | b2;
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& other) const {
+  if (is_zero() || other.is_zero()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(limbs_[i]) * other.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out.limbs_[i + other.limbs_.size()] += static_cast<std::uint64_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigUInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& divisor) const {
+  if (divisor.is_zero()) {
+    throw std::domain_error("BigUInt: division by zero");
+  }
+  if (*this < divisor) return {BigUInt(), *this};
+
+  // Schoolbook binary long division: O(bits * limbs).  Fast enough for DH at
+  // simulation scale; not intended for production cryptography.
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  BigUInt remainder = *this;
+  BigUInt quotient;
+  quotient.limbs_.assign(shift / 64 + 1, 0);
+  BigUInt shifted = divisor << shift;
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= shifted) {
+      remainder = remainder - shifted;
+      quotient.limbs_[i / 64] |= 1ULL << (i % 64);
+    }
+    shifted = shifted >> 1;
+  }
+  quotient.trim();
+  return {quotient, remainder};
+}
+
+BigUInt BigUInt::mulmod(const BigUInt& other, const BigUInt& m) const {
+  return ((*this) * other) % m;
+}
+
+BigUInt BigUInt::powmod(const BigUInt& exp, const BigUInt& m) const {
+  if (m.is_zero()) throw std::domain_error("BigUInt: powmod modulus zero");
+  BigUInt base = *this % m;
+  BigUInt result(1);
+  result = result % m;  // handles m == 1
+  const std::size_t nbits = exp.bit_length();
+  for (std::size_t i = nbits; i-- > 0;) {
+    result = result.mulmod(result, m);
+    if (exp.bit(i)) result = result.mulmod(base, m);
+  }
+  return result;
+}
+
+}  // namespace papaya::crypto

@@ -1,0 +1,202 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace papaya::crypto {
+
+namespace {
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x01;
+  h.update({&prefix, 1});
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+/// Largest power of two strictly less than n (n >= 2).
+std::uint64_t split_point(std::uint64_t n) {
+  std::uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
+Digest VerifiableLog::leaf_hash(std::span<const std::uint8_t> record) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x00;
+  h.update({&prefix, 1});
+  h.update(record);
+  return h.finish();
+}
+
+std::uint64_t VerifiableLog::append(std::span<const std::uint8_t> record) {
+  leaves_.push_back(leaf_hash(record));
+  return leaves_.size() - 1;
+}
+
+std::uint64_t VerifiableLog::append(const std::string& record) {
+  return append(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(record.data()), record.size()));
+}
+
+Digest VerifiableLog::subtree_root(std::uint64_t lo, std::uint64_t hi) const {
+  const std::uint64_t n = hi - lo;
+  if (n == 0) {
+    // Empty tree root = H of empty string (RFC 6962).
+    return Sha256::hash(std::span<const std::uint8_t>{});
+  }
+  if (n == 1) return leaves_[lo];
+  const std::uint64_t k = split_point(n);
+  return node_hash(subtree_root(lo, lo + k), subtree_root(lo + k, hi));
+}
+
+Digest VerifiableLog::root_at(std::uint64_t n) const {
+  if (n > leaves_.size()) {
+    throw std::out_of_range("VerifiableLog::root_at: beyond log size");
+  }
+  return subtree_root(0, n);
+}
+
+LogSnapshot VerifiableLog::snapshot() const {
+  return {leaves_.size(), root_at(leaves_.size())};
+}
+
+void VerifiableLog::inclusion_path(std::uint64_t index, std::uint64_t lo,
+                                   std::uint64_t hi,
+                                   std::vector<Digest>& out) const {
+  const std::uint64_t n = hi - lo;
+  if (n <= 1) return;
+  const std::uint64_t k = split_point(n);
+  if (index < k) {
+    inclusion_path(index, lo, lo + k, out);
+    out.push_back(subtree_root(lo + k, hi));
+  } else {
+    inclusion_path(index - k, lo + k, hi, out);
+    out.push_back(subtree_root(lo, lo + k));
+  }
+}
+
+InclusionProof VerifiableLog::prove_inclusion(std::uint64_t leaf_index) const {
+  if (leaf_index >= leaves_.size()) {
+    throw std::out_of_range("VerifiableLog::prove_inclusion: no such leaf");
+  }
+  InclusionProof proof;
+  proof.leaf_index = leaf_index;
+  proof.tree_size = leaves_.size();
+  inclusion_path(leaf_index, 0, leaves_.size(), proof.path);
+  return proof;
+}
+
+void VerifiableLog::consistency_path(std::uint64_t old_size, std::uint64_t lo,
+                                     std::uint64_t hi, bool whole_is_old,
+                                     std::vector<Digest>& out) const {
+  const std::uint64_t n = hi - lo;
+  if (old_size == n) {
+    if (!whole_is_old) out.push_back(subtree_root(lo, hi));
+    return;
+  }
+  const std::uint64_t k = split_point(n);
+  if (old_size <= k) {
+    consistency_path(old_size, lo, lo + k, whole_is_old, out);
+    out.push_back(subtree_root(lo + k, hi));
+  } else {
+    consistency_path(old_size - k, lo + k, hi, false, out);
+    out.push_back(subtree_root(lo, lo + k));
+  }
+}
+
+ConsistencyProof VerifiableLog::prove_consistency(std::uint64_t old_size) const {
+  if (old_size > leaves_.size()) {
+    throw std::out_of_range("VerifiableLog::prove_consistency: bad old size");
+  }
+  ConsistencyProof proof;
+  proof.old_size = old_size;
+  proof.new_size = leaves_.size();
+  if (old_size == 0 || old_size == leaves_.size()) return proof;  // trivial
+  consistency_path(old_size, 0, leaves_.size(), true, proof.path);
+  return proof;
+}
+
+bool verify_inclusion(const Digest& leaf_hash, const InclusionProof& proof,
+                      const LogSnapshot& snapshot) {
+  if (proof.tree_size != snapshot.tree_size) return false;
+  if (proof.leaf_index >= snapshot.tree_size) return false;
+
+  std::uint64_t fn = proof.leaf_index;
+  std::uint64_t sn = snapshot.tree_size - 1;
+  Digest r = leaf_hash;
+  for (const Digest& p : proof.path) {
+    if (sn == 0) return false;
+    if ((fn & 1) != 0 || fn == sn) {
+      r = node_hash(p, r);
+      if ((fn & 1) == 0) {
+        do {
+          fn >>= 1;
+          sn >>= 1;
+        } while ((fn & 1) == 0 && fn != 0);
+      }
+    } else {
+      r = node_hash(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && r == snapshot.root;
+}
+
+bool verify_consistency(const LogSnapshot& old_snapshot,
+                        const LogSnapshot& new_snapshot,
+                        const ConsistencyProof& proof) {
+  if (proof.old_size != old_snapshot.tree_size ||
+      proof.new_size != new_snapshot.tree_size) {
+    return false;
+  }
+  const std::uint64_t m = proof.old_size;
+  const std::uint64_t n = proof.new_size;
+  if (m > n) return false;
+  if (m == n) {
+    return proof.path.empty() && old_snapshot.root == new_snapshot.root;
+  }
+  if (m == 0) return proof.path.empty();  // empty log is a prefix of anything
+
+  // RFC 6962-bis verification.
+  std::vector<Digest> path = proof.path;
+  if ((m & (m - 1)) == 0) {
+    // old size is a power of two: the old root itself seeds the walk.
+    path.insert(path.begin(), old_snapshot.root);
+  }
+  if (path.empty()) return false;
+
+  std::uint64_t fn = m - 1;
+  std::uint64_t sn = n - 1;
+  while ((fn & 1) != 0) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+  Digest fr = path.front();
+  Digest sr = path.front();
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Digest& c = path[i];
+    if (sn == 0) return false;
+    if ((fn & 1) != 0 || fn == sn) {
+      fr = node_hash(c, fr);
+      sr = node_hash(c, sr);
+      if ((fn & 1) == 0) {
+        do {
+          fn >>= 1;
+          sn >>= 1;
+        } while ((fn & 1) == 0 && fn != 0);
+      }
+    } else {
+      sr = node_hash(sr, c);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  return sn == 0 && fr == old_snapshot.root && sr == new_snapshot.root;
+}
+
+}  // namespace papaya::crypto

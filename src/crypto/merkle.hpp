@@ -1,0 +1,77 @@
+#pragma once
+// Append-only Merkle-tree verifiable log (App. C.2).
+//
+// PAPAYA uses a verifiable log (a la Trillian / Certificate Transparency) to
+// record every trusted binary that may run inside the enclave: clients verify
+// an *inclusion proof* that the attested binary is in the log, and auditors
+// verify *consistency proofs* showing the log is append-only between any two
+// snapshots.  The construction follows RFC 6962: leaf hash H(0x00 || data),
+// interior hash H(0x01 || left || right).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::crypto {
+
+/// A snapshot of the log: its size and root hash.
+struct LogSnapshot {
+  std::uint64_t tree_size = 0;
+  Digest root{};
+};
+
+/// Audit path proving a leaf is present in a snapshot.
+struct InclusionProof {
+  std::uint64_t leaf_index = 0;
+  std::uint64_t tree_size = 0;
+  std::vector<Digest> path;
+};
+
+/// Proof that the tree at `old_size` is a prefix of the tree at `new_size`.
+struct ConsistencyProof {
+  std::uint64_t old_size = 0;
+  std::uint64_t new_size = 0;
+  std::vector<Digest> path;
+};
+
+/// The log itself, held by the operator (server side).  Auditors and clients
+/// only ever see snapshots and proofs.
+class VerifiableLog {
+ public:
+  /// Append a record; returns its leaf index.
+  std::uint64_t append(std::span<const std::uint8_t> record);
+  std::uint64_t append(const std::string& record);
+
+  std::uint64_t size() const { return leaves_.size(); }
+  LogSnapshot snapshot() const;
+
+  InclusionProof prove_inclusion(std::uint64_t leaf_index) const;
+  ConsistencyProof prove_consistency(std::uint64_t old_size) const;
+
+  /// Root of the first `n` leaves (n <= size()).
+  Digest root_at(std::uint64_t n) const;
+
+  static Digest leaf_hash(std::span<const std::uint8_t> record);
+
+ private:
+  Digest subtree_root(std::uint64_t lo, std::uint64_t hi) const;
+  void inclusion_path(std::uint64_t index, std::uint64_t lo, std::uint64_t hi,
+                      std::vector<Digest>& out) const;
+  void consistency_path(std::uint64_t old_size, std::uint64_t lo,
+                        std::uint64_t hi, bool whole_is_old,
+                        std::vector<Digest>& out) const;
+
+  std::vector<Digest> leaves_;  // leaf hashes
+};
+
+/// Client/auditor-side verification (no access to the log contents).
+bool verify_inclusion(const Digest& leaf_hash, const InclusionProof& proof,
+                      const LogSnapshot& snapshot);
+bool verify_consistency(const LogSnapshot& old_snapshot,
+                        const LogSnapshot& new_snapshot,
+                        const ConsistencyProof& proof);
+
+}  // namespace papaya::crypto

@@ -1,0 +1,108 @@
+#include "fl/chunking.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace papaya::fl {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+util::Bytes UploadChunk::serialize() const {
+  util::ByteWriter w;
+  w.u64(session_id);
+  w.u32(index);
+  w.u32(total);
+  w.bytes(payload);
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+UploadChunk UploadChunk::deserialize(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  UploadChunk chunk;
+  chunk.session_id = r.u64();
+  chunk.index = r.u32();
+  chunk.total = r.u32();
+  chunk.payload = r.bytes();
+  chunk.crc = r.u32();
+  return chunk;
+}
+
+std::vector<UploadChunk> chunk_upload(std::uint64_t session_id,
+                                      const util::Bytes& serialized_update,
+                                      std::size_t chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("chunk_upload: chunk size must be > 0");
+  }
+  const std::size_t total =
+      serialized_update.empty()
+          ? 1
+          : (serialized_update.size() + chunk_size - 1) / chunk_size;
+  std::vector<UploadChunk> chunks;
+  chunks.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    UploadChunk chunk;
+    chunk.session_id = session_id;
+    chunk.index = static_cast<std::uint32_t>(i);
+    chunk.total = static_cast<std::uint32_t>(total);
+    const std::size_t begin = i * chunk_size;
+    const std::size_t end =
+        std::min(begin + chunk_size, serialized_update.size());
+    chunk.payload.assign(serialized_update.begin() + static_cast<std::ptrdiff_t>(begin),
+                         serialized_update.begin() + static_cast<std::ptrdiff_t>(end));
+    chunk.crc = crc32(chunk.payload);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+ChunkAssembler::Accept ChunkAssembler::accept(const UploadChunk& chunk) {
+  if (chunk.session_id != session_id_) return Accept::kInconsistent;
+  if (chunk.total == 0 || chunk.index >= chunk.total) {
+    return Accept::kInconsistent;
+  }
+  if (total_ == 0) {
+    total_ = chunk.total;
+  } else if (chunk.total != total_) {
+    return Accept::kInconsistent;
+  }
+  if (crc32(chunk.payload) != chunk.crc) return Accept::kCorrupt;
+  if (chunks_.contains(chunk.index)) return Accept::kDuplicate;
+  chunks_[chunk.index] = chunk.payload;
+  ++received_;
+  return complete() ? Accept::kComplete : Accept::kAccepted;
+}
+
+std::optional<util::Bytes> ChunkAssembler::assemble() const {
+  if (!complete()) return std::nullopt;
+  util::Bytes out;
+  for (const auto& [index, payload] : chunks_) {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+}  // namespace papaya::fl

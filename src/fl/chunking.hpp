@@ -1,0 +1,68 @@
+#pragma once
+// Chunked model upload (Sec. 6.1, participation stage 4: "the client uploads
+// the model in chunks").
+//
+// Uploads are split into fixed-size chunks, each carrying (session id,
+// chunk index, total count, payload, CRC).  The server side reassembles
+// out-of-order chunks and rejects corrupt or inconsistent ones, so a
+// transient failure wastes one chunk retransmission rather than the whole
+// upload — part of what makes the client protocol resilient to transient
+// failures without persistent connections.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace papaya::fl {
+
+struct UploadChunk {
+  std::uint64_t session_id = 0;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
+  util::Bytes payload;
+  std::uint32_t crc = 0;
+
+  util::Bytes serialize() const;
+  static UploadChunk deserialize(const util::Bytes& bytes);
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Split a serialized update into chunks of at most `chunk_size` bytes.
+std::vector<UploadChunk> chunk_upload(std::uint64_t session_id,
+                                      const util::Bytes& serialized_update,
+                                      std::size_t chunk_size);
+
+/// Server-side reassembly of one upload session.  Chunks may arrive out of
+/// order and may be duplicated; corrupt or inconsistent chunks are rejected.
+class ChunkAssembler {
+ public:
+  enum class Accept {
+    kAccepted,
+    kDuplicate,
+    kCorrupt,        ///< CRC mismatch
+    kInconsistent,   ///< wrong session / total mismatch / index out of range
+    kComplete,       ///< accepted and the upload is now complete
+  };
+
+  explicit ChunkAssembler(std::uint64_t session_id) : session_id_(session_id) {}
+
+  Accept accept(const UploadChunk& chunk);
+
+  bool complete() const { return total_ > 0 && received_ == total_; }
+
+  /// The reassembled payload; nullopt until complete.
+  std::optional<util::Bytes> assemble() const;
+
+ private:
+  std::uint64_t session_id_;
+  std::uint32_t total_ = 0;
+  std::size_t received_ = 0;
+  std::map<std::uint32_t, util::Bytes> chunks_;
+};
+
+}  // namespace papaya::fl

@@ -1,0 +1,139 @@
+#include "fl/client_runtime.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace papaya::fl {
+
+ExampleStore::ExampleStore(ml::ClientDataset dataset,
+                           std::size_t max_retained_examples)
+    : dataset_(std::move(dataset)) {
+  policy_.max_examples = max_retained_examples;
+  // Retention policy: keep at most `max_retained_examples` training
+  // sequences (newest-first semantics don't matter for synthetic data).
+  if (dataset_.train.size() > max_retained_examples) {
+    dataset_.train.resize(max_retained_examples);
+  }
+  train_meta_.assign(dataset_.train.size(), {0.0, 0});
+}
+
+ExampleStore::ExampleStore(RetentionPolicy policy) : policy_(policy) {}
+
+void ExampleStore::add_example(ml::Sequence example, double now) {
+  dataset_.train.push_back(std::move(example));
+  train_meta_.emplace_back(now, 0);
+  purge(now);
+}
+
+void ExampleStore::record_training_use(double now) {
+  for (auto& [ingested, uses] : train_meta_) ++uses;
+  purge(now);
+}
+
+std::size_t ExampleStore::purge(double now) {
+  const std::size_t before = dataset_.train.size();
+
+  // Age and use caps.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < dataset_.train.size(); ++i) {
+    const auto& [ingested, uses] = train_meta_[i];
+    const bool expired = now - ingested > policy_.max_age_s;
+    const bool exhausted = uses >= policy_.max_uses;
+    if (expired || exhausted) continue;
+    if (kept != i) {
+      dataset_.train[kept] = std::move(dataset_.train[i]);
+      train_meta_[kept] = train_meta_[i];
+    }
+    ++kept;
+  }
+  dataset_.train.resize(kept);
+  train_meta_.resize(kept);
+
+  // Count cap: evict oldest-ingested first (stable: entries are in
+  // ingestion order).
+  if (dataset_.train.size() > policy_.max_examples) {
+    const std::size_t excess = dataset_.train.size() - policy_.max_examples;
+    dataset_.train.erase(dataset_.train.begin(),
+                         dataset_.train.begin() + excess);
+    train_meta_.erase(train_meta_.begin(), train_meta_.begin() + excess);
+  }
+  return before - dataset_.train.size();
+}
+
+Executor::Executor(std::unique_ptr<ml::LanguageModel> working_model,
+                   TrainerConfig config)
+    : model_(std::move(working_model)), config_(config) {
+  if (!model_) throw std::invalid_argument("Executor: null model");
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("Executor: batch size must be > 0");
+  }
+}
+
+LocalTrainingResult Executor::train(std::span<const float> global_params,
+                                    std::uint64_t version,
+                                    std::uint64_t client_id,
+                                    const ExampleStore& store,
+                                    util::Rng& rng) const {
+  if (global_params.size() != model_->num_params()) {
+    throw std::invalid_argument("Executor: global model size mismatch");
+  }
+  std::copy(global_params.begin(), global_params.end(),
+            model_->params().begin());
+
+  const auto& train_set = store.dataset().train;
+  LocalTrainingResult result;
+  result.update.client_id = client_id;
+  result.update.initial_version = version;
+  result.update.num_examples = train_set.size();
+
+  if (train_set.empty()) {
+    result.update.delta.assign(model_->num_params(), 0.0f);
+    return result;
+  }
+
+  if (config_.compute_losses) {
+    result.initial_loss = model_->loss(train_set, {});
+  }
+
+  const ml::Sgd sgd(config_.learning_rate, config_.gradient_clip);
+  std::vector<float> grad(model_->num_params());
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<ml::Sequence> batch;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher–Yates shuffle with the caller's deterministic rng.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      batch.clear();
+      for (std::size_t i = start; i < end; ++i) {
+        batch.push_back(train_set[order[i]]);
+      }
+      model_->loss(batch, grad);
+      sgd.step(model_->params(), grad);
+    }
+  }
+
+  if (config_.compute_losses) {
+    result.final_loss = model_->loss(train_set, {});
+  }
+
+  // Model update = trained - initial (Sec. 3.1).
+  result.update.delta.resize(model_->num_params());
+  const std::span<const float> trained = model_->params();
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    result.update.delta[i] = trained[i] - global_params[i];
+  }
+  return result;
+}
+
+ClientRuntime::ClientRuntime(std::uint64_t client_id, ExampleStore store)
+    : client_id_(client_id), store_(std::move(store)) {}
+
+}  // namespace papaya::fl

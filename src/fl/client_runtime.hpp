@@ -1,0 +1,160 @@
+#pragma once
+// The client runtime (Secs. 4, 6.1, App. E.5).
+//
+// On-device pieces: the Example Store (local training data behind a
+// use/retention policy), the Executor (model-agnostic local training), and
+// the eligibility logic — a device participates only when idle, charging,
+// and on an unmetered network, and participation history is tracked "to
+// enable fair and unbiased client selection".
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fl/model_update.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+
+/// Instantaneous device conditions checked against the participation policy.
+struct DeviceConditions {
+  bool idle = true;
+  bool charging = true;
+  bool unmetered_network = true;
+};
+
+/// Training-eligibility policy (Sec. 7.1, following Hard et al. 2019).
+struct EligibilityPolicy {
+  /// Minimum time between two participations of the same device.
+  double min_participation_interval_s = 0.0;
+
+  bool eligible(const DeviceConditions& conditions,
+                std::optional<double> last_participation, double now) const {
+    if (!conditions.idle || !conditions.charging ||
+        !conditions.unmetered_network) {
+      return false;
+    }
+    return !last_participation ||
+           now - *last_participation >= min_participation_interval_s;
+  }
+};
+
+/// Data use and retention policy enforced by the Example Store (App. E.5:
+/// the store "collects training data in persistent storage and enforces the
+/// data use and retention policy").
+struct RetentionPolicy {
+  /// Count cap; the oldest examples are evicted first.
+  std::size_t max_examples = std::numeric_limits<std::size_t>::max();
+  /// Age cap: examples older than this are purged on the next sweep.
+  double max_age_s = std::numeric_limits<double>::infinity();
+  /// Use cap: an example may contribute to at most this many training
+  /// sessions before it is retired (the "data use" half of the policy).
+  std::uint64_t max_uses = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// The Example Store (App. E.5): local sequences behind a use/retention
+/// policy.  Training examples carry an ingestion timestamp and a use count;
+/// purge() enforces the policy and is invoked automatically on ingestion
+/// and when a training session is recorded.
+class ExampleStore {
+ public:
+  ExampleStore() = default;
+  /// Bulk-load a dataset (ingestion time 0) with a simple count cap.
+  ExampleStore(ml::ClientDataset dataset, std::size_t max_retained_examples);
+  /// Empty store with a full policy; feed it via add_example().
+  explicit ExampleStore(RetentionPolicy policy);
+
+  const ml::ClientDataset& dataset() const { return dataset_; }
+  std::size_t num_train_examples() const { return dataset_.train.size(); }
+  const RetentionPolicy& policy() const { return policy_; }
+
+  /// Ingest one training example collected at time `now`.
+  void add_example(ml::Sequence example, double now);
+
+  /// Record that a training session at time `now` consumed the current
+  /// training split; examples whose use budget is exhausted are retired.
+  void record_training_use(double now);
+
+  /// Enforce the retention policy at time `now` (age, use and count caps).
+  /// Returns the number of examples purged.
+  std::size_t purge(double now);
+
+ private:
+  ml::ClientDataset dataset_;
+  RetentionPolicy policy_;
+  /// Parallel to dataset_.train: (ingestion time, uses so far).
+  std::vector<std::pair<double, std::uint64_t>> train_meta_;
+};
+
+/// Local-training hyperparameters (Sec. 7.1: SGD, one epoch, B = 32).
+struct TrainerConfig {
+  float learning_rate = 0.3f;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 1;
+  float gradient_clip = 5.0f;
+  /// Whether to measure train loss before/after (extra forward passes);
+  /// simulations switch this off for speed.
+  bool compute_losses = true;
+};
+
+struct LocalTrainingResult {
+  ModelUpdate update;
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+};
+
+/// The Executor (App. E.5): swaps global parameters into a working model,
+/// runs local SGD, emits the weight delta.  One Executor can serve many
+/// simulated clients; it is model-architecture-agnostic through the
+/// LanguageModel interface (standing in for PyTorch Mobile's interpreter).
+class Executor {
+ public:
+  Executor(std::unique_ptr<ml::LanguageModel> working_model,
+           TrainerConfig config);
+
+  /// Run local training from `global_params` (model version `version`) over
+  /// the store's training split.
+  LocalTrainingResult train(std::span<const float> global_params,
+                            std::uint64_t version, std::uint64_t client_id,
+                            const ExampleStore& store, util::Rng& rng) const;
+
+  std::size_t model_size() const { return model_->num_params(); }
+
+ private:
+  std::unique_ptr<ml::LanguageModel> model_;
+  TrainerConfig config_;
+};
+
+/// Per-device runtime state: conditions, history, capabilities.
+class ClientRuntime {
+ public:
+  ClientRuntime(std::uint64_t client_id, ExampleStore store);
+
+  std::uint64_t client_id() const { return client_id_; }
+  const ExampleStore& store() const { return store_; }
+
+  DeviceConditions& conditions() { return conditions_; }
+  const DeviceConditions& conditions() const { return conditions_; }
+
+  bool check_in_allowed(const EligibilityPolicy& policy, double now) const {
+    return policy.eligible(conditions_, last_participation_, now);
+  }
+  void record_participation(double now) { last_participation_ = now; }
+  std::optional<double> last_participation() const {
+    return last_participation_;
+  }
+
+ private:
+  std::uint64_t client_id_;
+  ExampleStore store_;
+  DeviceConditions conditions_;
+  std::optional<double> last_participation_;
+};
+
+}  // namespace papaya::fl

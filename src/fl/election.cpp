@@ -1,0 +1,156 @@
+#include "fl/election.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace papaya::fl {
+
+CoordinatorGroup::CoordinatorGroup(std::vector<std::string> replica_ids)
+    : CoordinatorGroup(std::move(replica_ids), Options{}) {}
+
+CoordinatorGroup::CoordinatorGroup(std::vector<std::string> replica_ids,
+                                   Options options)
+    : options_(options) {
+  if (replica_ids.empty()) {
+    throw std::invalid_argument("CoordinatorGroup: need at least one replica");
+  }
+  for (auto& id : replica_ids) replicas_[std::move(id)] = Replica{};
+  // Bootstrap: the lowest-id replica leads from t = 0 with nothing to
+  // recover, so assignments start enabled.
+  install_leader(replicas_.begin()->first, 0.0, /*bootstrap=*/true);
+}
+
+const std::string& CoordinatorGroup::leader_id() const {
+  if (!leader_) {
+    throw std::runtime_error("CoordinatorGroup: no leader elected");
+  }
+  return *leader_;
+}
+
+bool CoordinatorGroup::in_recovery(double now) const {
+  return leader_.has_value() && now < recovery_until_;
+}
+
+bool CoordinatorGroup::accepting_assignments(double now) const {
+  return leader_.has_value() && now >= recovery_until_;
+}
+
+void CoordinatorGroup::fail_leader(double now) {
+  if (!leader_) return;
+  fail_replica(*leader_, now);
+}
+
+void CoordinatorGroup::fail_replica(const std::string& id, double now) {
+  const auto it = replicas_.find(id);
+  if (it == replicas_.end()) return;
+  it->second.alive = false;
+  if (leader_ && *leader_ == id) {
+    // The leader's soft state dies with it (App. E.4: only durable state —
+    // the fleet registry and task store — survives).
+    PAPAYA_LOG(util::LogLevel::kWarning)
+        << "coordinator leader " << id << " failed; assignments paused";
+    leader_.reset();
+    coordinator_.reset();
+    leaderless_since_ = now;
+  }
+}
+
+void CoordinatorGroup::revive_replica(const std::string& id) {
+  const auto it = replicas_.find(id);
+  if (it != replicas_.end()) it->second.alive = true;
+}
+
+bool CoordinatorGroup::replica_alive(const std::string& id) const {
+  const auto it = replicas_.find(id);
+  return it != replicas_.end() && it->second.alive;
+}
+
+bool CoordinatorGroup::tick(double now) {
+  if (leader_) return false;
+  if (now - leaderless_since_ < options_.election_timeout_s) return false;
+  for (const auto& [id, replica] : replicas_) {
+    if (replica.alive) {
+      install_leader(id, now, /*bootstrap=*/false);
+      return true;
+    }
+  }
+  return false;  // nobody alive; stay leaderless
+}
+
+void CoordinatorGroup::install_leader(const std::string& id, double now,
+                                      bool bootstrap) {
+  leader_ = id;
+  ++term_;
+  PAPAYA_LOG(util::LogLevel::kInfo)
+      << "coordinator leader elected: " << id << " (term " << term_
+      << (bootstrap ? ", bootstrap)" : ", recovering)");
+  coordinator_ = std::make_unique<Coordinator>(options_.seed ^ term_);
+  for (auto& [agg_id, agg] : fleet_) {
+    coordinator_->register_aggregator(*agg, now);
+  }
+  for (const auto& [name, stored] : task_store_) {
+    coordinator_->adopt_task(stored.config, stored.server_opt);
+  }
+  coordinator_->recover_from_aggregator_state(now);
+  // The bootstrap leader has nothing to rebuild; an elected successor holds
+  // assignments for the App. E.4 recovery period while reports stream in.
+  recovery_until_ = bootstrap ? now : now + options_.recovery_period_s;
+}
+
+void CoordinatorGroup::register_aggregator(Aggregator& aggregator,
+                                           double now) {
+  fleet_[aggregator.id()] = &aggregator;
+  if (coordinator_) coordinator_->register_aggregator(aggregator, now);
+}
+
+void CoordinatorGroup::submit_task(const TaskConfig& config,
+                                   std::vector<float> initial_model,
+                                   ml::ServerOptimizerConfig server_opt,
+                                   double now) {
+  if (!accepting_assignments(now)) {
+    throw std::runtime_error(
+        "CoordinatorGroup: no active leader (leaderless or in recovery)");
+  }
+  coordinator_->submit_task(config, std::move(initial_model), server_opt);
+  task_store_[config.name] = StoredTask{config, server_opt};
+}
+
+void CoordinatorGroup::aggregator_report(const std::string& aggregator_id,
+                                         std::uint64_t sequence, double now,
+                                         const std::vector<TaskReport>& reports) {
+  // Consumed even in recovery — reports rebuild the demand view.  Dropped
+  // while leaderless (aggregators retry on their next report interval).
+  if (coordinator_) {
+    coordinator_->aggregator_report(aggregator_id, sequence, now, reports);
+  }
+}
+
+std::optional<ClientAssignment> CoordinatorGroup::assign_client(
+    const ClientCapabilities& caps, double now) {
+  if (!accepting_assignments(now)) return std::nullopt;
+  return coordinator_->assign_client(caps);
+}
+
+void CoordinatorGroup::assignment_concluded(const std::string& task) {
+  if (coordinator_) coordinator_->assignment_concluded(task);
+}
+
+std::vector<std::string> CoordinatorGroup::detect_failures(double now,
+                                                           double timeout) {
+  if (!coordinator_) return {};
+  return coordinator_->detect_failures(now, timeout);
+}
+
+const AssignmentMap* CoordinatorGroup::assignment_map() const {
+  return coordinator_ ? &coordinator_->assignment_map() : nullptr;
+}
+
+const Coordinator& CoordinatorGroup::leader() const {
+  if (!coordinator_) {
+    throw std::runtime_error("CoordinatorGroup: no leader elected");
+  }
+  return *coordinator_;
+}
+
+}  // namespace papaya::fl

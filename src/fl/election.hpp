@@ -1,0 +1,139 @@
+#pragma once
+// Replicated Coordinator with leader election and recovery period (App. E.4).
+//
+// The paper: "Upon coordinator failure participating clients are not
+// affected, only for the duration of the recovery no new clients are
+// assigned.  Selectors and aggregators wait until a new leader coordinator
+// is elected meanwhile continuing to operate based on last known
+// assignments.  After the leader election coordinator enters the recovery
+// period (typically 30s) to rebuild the current assignment map from
+// aggregator reports and then resumes assignments."
+//
+// This module models exactly that: a group of Coordinator replicas of which
+// one is leader.  Durable state (the aggregator fleet and the task store)
+// survives leader failures; the leader's soft state (demand view, pending
+// assignments, assignment map) dies with it and is rebuilt by the next
+// leader during the recovery period.  Election is deterministic — after the
+// election timeout, the lowest-id live replica wins and the term increments
+// — standing in for the production consensus service without changing any
+// observable behaviour the paper describes.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fl/aggregator.hpp"
+#include "fl/coordinator.hpp"
+#include "fl/task.hpp"
+
+namespace papaya::fl {
+
+class CoordinatorGroup {
+ public:
+  struct Options {
+    /// How long followers wait for leader heartbeats before electing.
+    double election_timeout_s = 5.0;
+    /// App. E.4's "typically 30s" rebuild window after an election.
+    double recovery_period_s = 30.0;
+    std::uint64_t seed = 0;
+  };
+
+  /// The first (lowest-id) replica becomes leader immediately; the initial
+  /// bootstrap has nothing to recover, so assignments start enabled.
+  explicit CoordinatorGroup(std::vector<std::string> replica_ids);
+  CoordinatorGroup(std::vector<std::string> replica_ids, Options options);
+
+  // -- Leadership ------------------------------------------------------------
+
+  bool has_leader() const { return leader_.has_value(); }
+  const std::string& leader_id() const;
+  std::uint64_t term() const { return term_; }
+
+  /// True while a new leader is still rebuilding soft state.
+  bool in_recovery(double now) const;
+  /// True when client assignment is enabled: a leader exists and its
+  /// recovery period has elapsed.
+  bool accepting_assignments(double now) const;
+
+  // -- Failure injection -------------------------------------------------------
+
+  /// Kill the current leader (no-op if there is none).  Followers start the
+  /// election clock; call tick() to make time pass.
+  void fail_leader(double now);
+  void fail_replica(const std::string& id, double now);
+  /// A revived replica rejoins as a follower; it never reclaims leadership
+  /// (the term fences it out).
+  void revive_replica(const std::string& id);
+  bool replica_alive(const std::string& id) const;
+
+  /// Drive the election state machine: if the group has been leaderless for
+  /// at least the election timeout and a live replica exists, elect the
+  /// lowest-id live replica, increment the term, and start the recovery
+  /// period.  Returns true if a new leader was just elected.
+  bool tick(double now);
+
+  // -- Durable state (survives leader failure) --------------------------------
+
+  void register_aggregator(Aggregator& aggregator, double now);
+
+  /// Submit a task through the current leader.  Throws std::runtime_error
+  /// if there is no leader or the leader is still in recovery (production
+  /// queues these; the caller retries).
+  void submit_task(const TaskConfig& config, std::vector<float> initial_model,
+                   ml::ServerOptimizerConfig server_opt, double now);
+
+  // -- Leader-routed operations ------------------------------------------------
+
+  /// Aggregator reports are consumed even during recovery — they are what
+  /// the new leader rebuilds its demand view from.  Dropped if leaderless.
+  void aggregator_report(const std::string& aggregator_id,
+                         std::uint64_t sequence, double now,
+                         const std::vector<TaskReport>& reports);
+
+  /// nullopt while assignments are paused (leaderless or in recovery) —
+  /// App. E.4's "no new clients are assigned".
+  std::optional<ClientAssignment> assign_client(const ClientCapabilities& caps,
+                                                double now);
+  void assignment_concluded(const std::string& task);
+
+  std::vector<std::string> detect_failures(double now, double timeout);
+
+  /// The leader's assignment map; Selectors keep serving their last cached
+  /// copy while leaderless.  Returns nullptr if there is no leader.
+  const AssignmentMap* assignment_map() const;
+
+  /// The leader's live Coordinator (for Selector::refresh and tests).
+  /// Throws std::runtime_error if there is no leader.
+  const Coordinator& leader() const;
+
+ private:
+  struct Replica {
+    bool alive = true;
+  };
+
+  /// Durable task store entry (in production: a replicated DB).
+  struct StoredTask {
+    TaskConfig config;
+    ml::ServerOptimizerConfig server_opt;
+  };
+
+  /// Build a fresh Coordinator for a newly elected leader: re-register the
+  /// fleet, adopt the task store, rebuild the map from aggregator state.
+  void install_leader(const std::string& id, double now, bool bootstrap);
+
+  Options options_;
+  std::map<std::string, Replica> replicas_;
+  std::optional<std::string> leader_;
+  std::uint64_t term_ = 0;
+  double leaderless_since_ = 0.0;
+  double recovery_until_ = 0.0;
+
+  std::unique_ptr<Coordinator> coordinator_;  ///< leader soft state
+  std::map<std::string, Aggregator*> fleet_;  ///< durable fleet registry
+  std::map<std::string, StoredTask> task_store_;  ///< durable task store
+};
+
+}  // namespace papaya::fl

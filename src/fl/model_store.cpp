@@ -1,0 +1,50 @@
+#include "fl/model_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace papaya::fl {
+
+ModelStore::ModelStore(Config config) : config_(config) {
+  if (config_.write_bandwidth_bytes_per_s <= 0.0) {
+    throw std::invalid_argument("ModelStore: bandwidth must be positive");
+  }
+  if (config_.base_latency_s < 0.0) {
+    throw std::invalid_argument("ModelStore: negative base latency");
+  }
+}
+
+double ModelStore::publish(std::uint64_t version, std::size_t model_bytes,
+                           double now) {
+  if (version <= last_version_) {
+    throw std::invalid_argument("ModelStore: versions must increase");
+  }
+  last_version_ = version;
+
+  const double start = std::max(now, busy_until_);
+  stats_.stall_s += start - now;
+  const double write_time =
+      config_.base_latency_s +
+      static_cast<double>(model_bytes) / config_.write_bandwidth_bytes_per_s;
+  busy_until_ = start + write_time;
+
+  ++stats_.writes;
+  stats_.bytes_written += model_bytes;
+  history_.push_back(Completed{version, busy_until_});
+  return busy_until_;
+}
+
+std::uint64_t ModelStore::visible_version(double now) const {
+  std::uint64_t visible = 0;
+  for (const Completed& c : history_) {
+    if (c.visible_at <= now) visible = c.version;
+  }
+  return visible;
+}
+
+double ModelStore::min_publish_interval_s(std::size_t model_bytes) const {
+  return config_.base_latency_s +
+         static_cast<double>(model_bytes) / config_.write_bandwidth_bytes_per_s;
+}
+
+}  // namespace papaya::fl

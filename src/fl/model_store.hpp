@@ -1,0 +1,73 @@
+#pragma once
+// Write-bandwidth-limited model store (Sec. 7.3).
+//
+// The paper: "the frequency of server updates is limited by the system's
+// write bandwidth.  Thus, we cannot create a new server model too often.  We
+// leave improvements to overcome write bandwidth limitations as future
+// work."  This module makes that limit a first-class object: publishing a
+// new server model writes `model_bytes` through a fixed-bandwidth channel
+// (the CDN/model-distribution store), writes are serialized, and a model
+// version only becomes visible to clients when its write completes.
+//
+// bench_ablation_write_bandwidth uses it to show where the Fig. 10 (bottom)
+// server-update rate saturates for small aggregation goals.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace papaya::fl {
+
+class ModelStore {
+ public:
+  struct Config {
+    /// Sustained write bandwidth to the store; infinity = unconstrained.
+    double write_bandwidth_bytes_per_s =
+        std::numeric_limits<double>::infinity();
+    /// Fixed per-write overhead (metadata commit, fan-out trigger).
+    double base_latency_s = 0.0;
+  };
+
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t bytes_written = 0;
+    /// Total time publish requests spent queued behind earlier writes — the
+    /// wasted server time when steps outpace the store.
+    double stall_s = 0.0;
+  };
+
+  explicit ModelStore(Config config);
+
+  /// Request publication of model `version` (strictly increasing) at time
+  /// `now`.  The write starts when the previous write has finished and
+  /// takes base_latency + bytes/bandwidth.  Returns the time at which the
+  /// version becomes visible to clients.
+  /// Throws std::invalid_argument on non-increasing versions.
+  double publish(std::uint64_t version, std::size_t model_bytes, double now);
+
+  /// The newest version whose write has completed by time `now` (0 if none).
+  std::uint64_t visible_version(double now) const;
+
+  /// When the store becomes idle (end of the last scheduled write).
+  double busy_until() const { return busy_until_; }
+
+  /// Shortest possible interval between visible versions for a given model
+  /// size — the hard ceiling on server-step frequency the paper points at.
+  double min_publish_interval_s(std::size_t model_bytes) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Completed {
+    std::uint64_t version;
+    double visible_at;
+  };
+
+  Config config_;
+  double busy_until_ = 0.0;
+  std::uint64_t last_version_ = 0;
+  std::vector<Completed> history_;
+  Stats stats_;
+};
+
+}  // namespace papaya::fl

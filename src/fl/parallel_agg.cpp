@@ -1,0 +1,128 @@
+#include "fl/parallel_agg.hpp"
+
+#include <stdexcept>
+
+#include "fl/model_update.hpp"
+#include "ml/math.hpp"
+
+namespace papaya::fl {
+
+ParallelAggregator::ParallelAggregator(std::size_t model_size,
+                                       std::size_t num_threads,
+                                       std::size_t num_intermediates,
+                                       float clip_norm)
+    : model_size_(model_size),
+      clip_norm_(clip_norm),
+      intermediates_(num_intermediates == 0 ? 1 : num_intermediates),
+      intermediate_locks_(intermediates_.size()) {
+  if (model_size == 0) {
+    throw std::invalid_argument("ParallelAggregator: model_size must be > 0");
+  }
+  for (auto& inter : intermediates_) {
+    inter.weighted_delta.assign(model_size_, 0.0f);
+  }
+  const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ParallelAggregator::~ParallelAggregator() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ParallelAggregator::enqueue(util::Bytes serialized_update, double weight) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_.emplace_back(std::move(serialized_update), weight);
+  }
+  queue_cv_.notify_one();
+}
+
+void ParallelAggregator::worker_loop(std::size_t /*worker_index*/) {
+  // Hash this worker's thread id to pick its intermediate aggregate
+  // (Sec. 6.3's lock-contention trick).
+  const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      intermediates_.size();
+
+  for (;;) {
+    std::pair<util::Bytes, double> item;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+    }
+
+    ModelUpdate update = ModelUpdate::deserialize(item.first);
+    if (update.delta.size() == model_size_ && clip_norm_ > 0.0f) {
+      ml::clip_norm(update.delta, clip_norm_);
+    }
+    if (update.delta.size() != model_size_) {
+      // A malformed update must not poison the aggregate; drop it.
+      std::lock_guard lock(queue_mutex_);
+      --inflight_;
+      drained_cv_.notify_all();
+      continue;
+    }
+    const float w = static_cast<float>(item.second);
+    {
+      std::lock_guard inter_lock(intermediate_locks_[slot]);
+      Intermediate& inter = intermediates_[slot];
+      for (std::size_t i = 0; i < model_size_; ++i) {
+        inter.weighted_delta[i] += w * update.delta[i];
+      }
+      inter.weight_sum += item.second;
+      ++inter.count;
+    }
+    {
+      std::lock_guard lock(queue_mutex_);
+      --inflight_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void ParallelAggregator::drain() {
+  std::unique_lock lock(queue_mutex_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset() {
+  drain();
+  Reduced out;
+  out.mean_delta.assign(model_size_, 0.0f);
+  for (auto& inter : intermediates_) {
+    std::lock_guard lock(
+        intermediate_locks_[static_cast<std::size_t>(&inter - intermediates_.data())]);
+    for (std::size_t i = 0; i < model_size_; ++i) {
+      out.mean_delta[i] += inter.weighted_delta[i];
+    }
+    out.weight_sum += inter.weight_sum;
+    out.count += inter.count;
+    inter.weighted_delta.assign(model_size_, 0.0f);
+    inter.weight_sum = 0.0;
+    inter.count = 0;
+  }
+  if (out.weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / out.weight_sum);
+    for (auto& v : out.mean_delta) v *= inv;
+  }
+  return out;
+}
+
+std::size_t ParallelAggregator::queued_or_inflight() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_.size() + inflight_;
+}
+
+}  // namespace papaya::fl

@@ -1,0 +1,85 @@
+#pragma once
+// Parallel model aggregation (Sec. 6.3).
+//
+// "Once a client completes training, it uploads the trained serialized model
+//  update to the server.  This update is then pushed into an in-memory queue
+//  on the Aggregator.  A different thread drains the queue by de-serializing
+//  the updates into trainable parameters and aggregating them.  To speed up
+//  this aggregation, we parallelize the aggregation process across available
+//  cores.  To reduce lock contention, the ID of the thread performing
+//  intermediate aggregation is hashed to choose one of the intermediate
+//  aggregates."
+//
+// This module implements exactly that: a mutex-protected queue of serialized
+// updates, a pool of worker threads each folding deserialized deltas into one
+// of `num_intermediates` partial sums selected by hashing the worker's thread
+// id, and a final reduction over the intermediates.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace papaya::fl {
+
+/// One weighted partial sum.
+struct Intermediate {
+  std::vector<float> weighted_delta;  ///< sum of w_i * delta_i
+  double weight_sum = 0.0;
+  std::size_t count = 0;
+};
+
+class ParallelAggregator {
+ public:
+  /// `clip_norm` > 0 rescales each deserialized delta to at most that L2
+  /// norm before aggregation (per-update clipping for differential
+  /// privacy).
+  ParallelAggregator(std::size_t model_size, std::size_t num_threads,
+                     std::size_t num_intermediates, float clip_norm = 0.0f);
+  ~ParallelAggregator();
+
+  ParallelAggregator(const ParallelAggregator&) = delete;
+  ParallelAggregator& operator=(const ParallelAggregator&) = delete;
+
+  /// Push one serialized update with its precomputed weight into the queue.
+  void enqueue(util::Bytes serialized_update, double weight);
+
+  /// Block until the queue is drained and all in-flight work has been folded
+  /// into the intermediates.
+  void drain();
+
+  /// Drain, then reduce all intermediates into (weighted mean delta,
+  /// total weight, count), and reset for the next buffer.
+  struct Reduced {
+    std::vector<float> mean_delta;
+    double weight_sum = 0.0;
+    std::size_t count = 0;
+  };
+  Reduced reduce_and_reset();
+
+  std::size_t queued_or_inflight() const;
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  const std::size_t model_size_;
+  const float clip_norm_;
+  std::vector<Intermediate> intermediates_;
+  std::vector<std::mutex> intermediate_locks_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::pair<util::Bytes, double>> queue_;
+  std::size_t inflight_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace papaya::fl

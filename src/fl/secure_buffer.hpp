@@ -1,0 +1,118 @@
+#pragma once
+// FedBuff + Asynchronous SecAgg: the secure buffered-aggregation path.
+//
+// When a task enables SecAgg, the Aggregator never sees plaintext updates.
+// Each aggregation buffer (one aggregation goal's worth of updates) gets a
+// fresh TSA masking epoch: the TSA is one-shot (Fig. 16 step 7), so after a
+// release the manager rotates to a new TSA instance and a new epoch.
+//
+// Weighting under SecAgg: the server cannot rescale an individual masked
+// update, so example-count weighting is applied *client-side* — the client
+// multiplies its delta by sqrt(num_examples) before masking and reports the
+// example count in the clear; the server divides the unmasked sum by the
+// sum of sqrt(n_i).  Staleness down-weighting is not possible under this
+// construction (the staleness is only known at upload, after masking); the
+// buffered-asynchronous secure-aggregation literature (So et al. 2021a)
+// addresses staleness-aware weighting and is out of scope here.  Staleness
+// *bounds* (abort/discard) still apply, since version metadata is public.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "secagg/secagg_client.hpp"
+#include "secagg/secagg_server.hpp"
+#include "secagg/tsa.hpp"
+
+namespace papaya::fl {
+
+/// Everything a client needs to prepare a secure contribution for the
+/// current masking epoch.
+struct SecureUploadConfig {
+  std::uint64_t epoch = 0;
+  const secagg::TsaInitialMessage* initial_message = nullptr;
+  crypto::InclusionProof log_proof;
+  secagg::QuoteExpectations expectations;
+  secagg::FixedPointParams fixed_point;
+};
+
+/// A client's secure report: masked contribution plus public metadata.
+struct SecureReport {
+  std::uint64_t epoch = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t initial_version = 0;
+  std::size_t num_examples = 0;
+  secagg::ClientContribution contribution;
+};
+
+enum class SecureSubmitOutcome {
+  kAccepted,
+  kWrongEpoch,     ///< prepared against an already-released masking epoch
+  kExhausted,      ///< no initial messages left in this epoch
+  kTsaRejected,    ///< TSA refused (tampered/replayed/bad key)
+};
+
+/// Manages masking epochs for one task on the server side.
+class SecureBufferManager {
+ public:
+  /// `goal` is the aggregation goal; each epoch pre-generates enough initial
+  /// messages for the goal plus in-flight overshoot.
+  SecureBufferManager(std::size_t model_size, std::size_t goal,
+                      std::uint64_t seed);
+
+  /// Server -> client: upload configuration for the current epoch.  Each
+  /// call consumes one initial message (they are single-use).  Returns
+  /// nullopt when the epoch has no messages left (caller should retry next
+  /// epoch).
+  std::optional<SecureUploadConfig> next_upload_config();
+
+  /// Client -> server: submit a secure report.
+  SecureSubmitOutcome submit(const SecureReport& report, double weight);
+
+  std::size_t accepted_count() const { return accepted_; }
+  bool goal_reached() const { return accepted_ >= goal_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Unmask, decode, divide by the accumulated weight sum, rotate to a new
+  /// epoch.  Returns nullopt if the TSA refuses (below goal).
+  std::optional<std::vector<float>> finalize_mean();
+
+  /// Client-side helper: scale by `weight`, verify the attestation against
+  /// `platform` (standing in for the hardware vendor's public collateral),
+  /// then mask + seal.  Returns nullopt if verification fails — the
+  /// client's plaintext update never leaves.
+  static std::optional<SecureReport> prepare_report(
+      const secagg::SimulatedEnclavePlatform& platform,
+      const SecureUploadConfig& config, std::uint64_t client_id,
+      std::uint64_t initial_version, std::size_t num_examples, double weight,
+      std::span<const float> delta, std::uint64_t client_seed);
+
+  /// The platform and measurement this manager attests against (exposed so
+  /// tests can build independent verifiers).
+  const secagg::SimulatedEnclavePlatform& platform() const {
+    return platform_;
+  }
+
+ private:
+  void rotate_epoch();
+
+  std::size_t model_size_;
+  std::size_t goal_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_ = 0;
+
+  secagg::SimulatedEnclavePlatform platform_;
+  crypto::Digest binary_measurement_{};
+  crypto::VerifiableLog log_;
+  std::uint64_t binary_leaf_ = 0;
+  secagg::FixedPointParams fixed_point_;
+
+  std::unique_ptr<secagg::TrustedSecureAggregator> tsa_;
+  std::unique_ptr<secagg::SecureAggregationSession> session_;
+  std::size_t next_message_ = 0;
+  std::size_t accepted_ = 0;
+  double weight_sum_ = 0.0;
+};
+
+}  // namespace papaya::fl

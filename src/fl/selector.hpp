@@ -1,0 +1,56 @@
+#pragma once
+// The Selector server component (Secs. 4, 6.2, App. E.4).
+//
+// Selectors are the only components clients talk to.  Each caches the
+// Coordinator's assignment map and routes client requests to the Aggregator
+// owning the task.  A Selector can be *stale* (its cached map version lags
+// the Coordinator's): clients that hit a routing miss retry through another
+// Selector, and the stale Selector refreshes its map on its next report to
+// the Coordinator.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fl/coordinator.hpp"
+
+namespace papaya::fl {
+
+class Selector {
+ public:
+  explicit Selector(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+
+  /// Pull the latest assignment map from the Coordinator (done on every
+  /// report in production).
+  void refresh(const Coordinator& coordinator) {
+    map_ = coordinator.assignment_map();
+  }
+
+  /// Route a client request for `task` to its Aggregator.  Returns nullopt
+  /// on a routing miss (unknown task in this Selector's cached map) — the
+  /// client should retry via a different Selector.
+  std::optional<std::string> route(const std::string& task) const {
+    const auto it = map_.task_to_aggregator.find(task);
+    if (it == map_.task_to_aggregator.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint64_t map_version() const { return map_.version; }
+
+  /// True when this Selector's map lags the Coordinator's.
+  bool is_stale(const Coordinator& coordinator) const {
+    return map_.version < coordinator.assignment_map().version;
+  }
+
+  /// Fail injection for tests: wipe the cached map (a crashed/restarted
+  /// Selector before its first refresh).
+  void crash() { map_ = {}; }
+
+ private:
+  std::string id_;
+  AssignmentMap map_;
+};
+
+}  // namespace papaya::fl

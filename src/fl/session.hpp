@@ -1,0 +1,115 @@
+#pragma once
+// Virtual sessions for the client participation protocol (Sec. 6.1).
+//
+// "Transient client failures do not cause clients to dropout because the
+// client protocol is based on virtual sessions instead of persistent
+// connections.  ...  All stages happen within a virtual session established
+// during selection."
+//
+// A session is a server-side token-addressed record of where a client is in
+// the 4-stage participation protocol (download -> train -> report ->
+// upload).  A client that loses connectivity mid-stage simply resumes with
+// its token — the session survives as long as it is touched within the TTL.
+// Sessions expire (and the client counts as failed) only after sustained
+// silence, and stages may only move forward, so a replayed or reordered
+// request cannot rewind a session.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace papaya::fl {
+
+/// The participation stages of Sec. 6.1, in protocol order.
+enum class SessionStage {
+  kSelected = 0,   ///< accepted by the Aggregator, nothing transferred yet
+  kDownloading,    ///< fetching model parameters / code / config
+  kTraining,       ///< local training in progress
+  kReporting,      ///< reporting status, receiving upload (SecAgg) config
+  kUploading,      ///< uploading the (possibly masked) update in chunks
+  kCompleted,      ///< terminal: update delivered
+  kAborted,        ///< terminal: expired, failed, or server-aborted
+};
+
+const char* to_string(SessionStage stage);
+
+/// Outcome of a session operation.
+enum class SessionOutcome {
+  kOk,
+  kUnknownToken,   ///< no such session (never existed or already pruned)
+  kExpired,        ///< TTL elapsed; the session was aborted
+  kOutOfOrder,     ///< attempted to move backwards or skip a terminal state
+  kTerminal,       ///< session already completed/aborted
+};
+
+/// Server-side session table for one task.
+class VirtualSessionManager {
+ public:
+  struct Options {
+    /// Silence tolerated before a session is declared dead.  The paper's
+    /// 4-minute client timeout bounds training; the TTL bounds *protocol*
+    /// silence within a stage and across transient disconnects.
+    double session_ttl_s = 300.0;
+  };
+
+  struct SessionInfo {
+    std::uint64_t token = 0;
+    std::uint64_t client_id = 0;
+    SessionStage stage = SessionStage::kSelected;
+    double opened_at = 0.0;
+    double last_touched = 0.0;
+    std::uint32_t resumes = 0;  ///< touches after a gap (diagnostics)
+  };
+
+  VirtualSessionManager();
+  explicit VirtualSessionManager(Options options,
+                                 std::uint64_t seed = 0x5e5510ULL);
+
+  /// Open a session for a selected client.  Tokens are unique and
+  /// unpredictable enough for a simulation (64-bit from a seeded stream).
+  std::uint64_t open(std::uint64_t client_id, double now);
+
+  /// Resume/heartbeat: refresh the TTL.  Returns kExpired (and aborts the
+  /// session) if the TTL had already lapsed at `now`.
+  SessionOutcome touch(std::uint64_t token, double now);
+
+  /// Move the session forward to `stage`.  Forward-only: the target must be
+  /// strictly later than the current stage (skipping intermediate stages is
+  /// allowed — e.g. a cached model skips kDownloading).  Also refreshes the
+  /// TTL on success.
+  SessionOutcome advance(std::uint64_t token, SessionStage stage, double now);
+
+  /// Terminal transitions.
+  SessionOutcome complete(std::uint64_t token, double now);
+  SessionOutcome abort(std::uint64_t token, double now);
+
+  std::optional<SessionInfo> lookup(std::uint64_t token) const;
+
+  /// Expire sessions silent for longer than the TTL; returns the client ids
+  /// whose sessions were aborted (the Aggregator marks them failed and
+  /// refills demand, Sec. 6.2).
+  std::vector<std::uint64_t> expire(double now);
+
+  /// Drop terminal sessions older than `retention_s` (table hygiene).
+  std::size_t prune_terminal(double now, double retention_s);
+
+  std::size_t active_sessions() const;
+  std::size_t total_sessions() const { return sessions_.size(); }
+
+ private:
+  bool is_terminal(SessionStage stage) const {
+    return stage == SessionStage::kCompleted ||
+           stage == SessionStage::kAborted;
+  }
+  /// Returns the live session or sets `outcome` and nullptr.
+  SessionInfo* live_session(std::uint64_t token, double now,
+                            SessionOutcome& outcome);
+
+  Options options_;
+  std::uint64_t token_state_;
+  std::map<std::uint64_t, SessionInfo> sessions_;
+};
+
+}  // namespace papaya::fl

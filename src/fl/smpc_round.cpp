@@ -1,0 +1,105 @@
+#include "fl/smpc_round.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace papaya::fl {
+
+namespace {
+
+smpc::SmpcConfig to_smpc_config(const SmpcSyncRound::Config& config) {
+  smpc::SmpcConfig c;
+  c.vector_length = config.model_size;
+  c.threshold = config.threshold;
+  return c;
+}
+
+}  // namespace
+
+SmpcSyncRound::SmpcSyncRound(Config config)
+    : config_(config), server_(to_smpc_config(config)) {
+  if (config_.model_size == 0 || config_.cohort_size == 0) {
+    throw std::invalid_argument("SmpcSyncRound: zero model or cohort size");
+  }
+  if (config_.threshold == 0 || config_.threshold > config_.cohort_size) {
+    throw std::invalid_argument("SmpcSyncRound: bad threshold");
+  }
+
+  // Cohort formation (the synchronous-SecAgg requirement): every member's
+  // keys and shares are exchanged before any update can flow.
+  clients_.reserve(config_.cohort_size);
+  for (std::size_t i = 0; i < config_.cohort_size; ++i) {
+    util::ByteWriter w;
+    w.u64(config_.seed);
+    w.u64(static_cast<std::uint64_t>(i + 1));
+    clients_.emplace_back(to_smpc_config(config_),
+                          static_cast<std::uint32_t>(i + 1), w.data());
+    server_.register_advertisement(clients_.back().advertise_keys());
+  }
+  const auto cohort = server_.cohort_broadcast();
+  for (auto& client : clients_) {
+    server_.submit_shares(client.share_keys(cohort));
+  }
+  for (auto& client : clients_) {
+    client.receive_shares(server_.inbox_for(client.id()));
+  }
+}
+
+void SmpcSyncRound::submit(std::size_t member, std::span<const float> delta,
+                           double weight) {
+  if (finalized_) {
+    throw std::logic_error("SmpcSyncRound: round already finalized");
+  }
+  if (member >= clients_.size()) {
+    throw std::invalid_argument("SmpcSyncRound: unknown cohort member");
+  }
+  if (delta.size() != config_.model_size) {
+    throw std::invalid_argument("SmpcSyncRound: wrong delta size");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("SmpcSyncRound: weight must be positive");
+  }
+  if (weights_.count(member) != 0) {
+    throw std::invalid_argument("SmpcSyncRound: duplicate submission");
+  }
+
+  // Client-side weighting: scale before encoding (the server cannot rescale
+  // a masked update), then mask and upload.
+  std::vector<float> scaled(delta.begin(), delta.end());
+  for (float& v : scaled) v = static_cast<float>(v * weight);
+  const secagg::GroupVec encoded =
+      secagg::encode(scaled, config_.fixed_point);
+  server_.submit_masked_input(clients_[member].id(),
+                              clients_[member].masked_input(encoded));
+  weights_[member] = weight;
+}
+
+SmpcSyncRound::RoundResult SmpcSyncRound::finalize() {
+  if (finalized_) {
+    throw std::logic_error("SmpcSyncRound: round already finalized");
+  }
+  finalized_ = true;
+
+  const std::set<std::uint32_t> survivors = server_.survivors();
+  const std::set<std::uint32_t> dropouts = server_.dropouts();
+  for (auto& client : clients_) {
+    if (survivors.count(client.id()) == 0) continue;
+    server_.submit_unmask_response(client.unmask(survivors, dropouts));
+  }
+
+  const secagg::GroupVec aggregate = server_.aggregate();  // throws below t
+
+  RoundResult result;
+  result.contributions = survivors.size();
+  for (const auto& [member, weight] : weights_) result.weight_sum += weight;
+  result.mean_delta = secagg::decode(aggregate, config_.fixed_point);
+  if (result.weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / result.weight_sum);
+    for (float& v : result.mean_delta) v *= inv;
+  }
+  result.traffic = server_.traffic();
+  return result;
+}
+
+}  // namespace papaya::fl

@@ -1,0 +1,83 @@
+#pragma once
+// SMPC-backed synchronous secure aggregation for SyncFL rounds — the GFL
+// configuration PAPAYA's Sec. 8 compares against ("GFL uses SMPC-based
+// Synchronous SecAgg").
+//
+// One SmpcSyncRound drives one cohort through the Bonawitz-style protocol
+// (src/smpc) over fixed-point-encoded, client-side-weighted model deltas:
+// the server learns only the weighted *sum* of the cohort's updates and the
+// public per-client weights, from which it forms the weighted mean.
+//
+// The constructor runs the AdvertiseKeys and ShareKeys legs for the whole
+// cohort up front — the cohort-formation requirement that makes this
+// protocol incompatible with asynchronous training (Sec. 5): nobody can be
+// admitted after the round starts, and everyone must stay reachable across
+// four synchronous legs.  PAPAYA's own secure path is the TSA-based
+// SecureBufferManager (secure_buffer.hpp); this class exists so the
+// baseline the paper argues against is runnable end to end.
+//
+// Weighting matches the SecureBufferManager convention: the client
+// pre-scales its delta by its weight before encoding (the server cannot
+// rescale a masked update) and reports the weight in the clear; the server
+// divides the unmasked sum by the sum of reported weights.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "secagg/fixed_point.hpp"
+#include "smpc/protocol.hpp"
+
+namespace papaya::fl {
+
+class SmpcSyncRound {
+ public:
+  struct Config {
+    std::size_t model_size = 0;   ///< parameters per update
+    std::size_t cohort_size = 0;  ///< n: fixed at round start
+    std::size_t threshold = 0;    ///< t: minimum survivors for release
+    secagg::FixedPointParams fixed_point;
+    std::uint64_t seed = 0;       ///< deterministic client key material
+  };
+
+  struct RoundResult {
+    std::vector<float> mean_delta;   ///< weighted mean over survivors
+    std::size_t contributions = 0;   ///< survivors included in the sum
+    double weight_sum = 0.0;
+    smpc::SmpcTraffic traffic;
+  };
+
+  /// Forms the cohort and runs AdvertiseKeys + ShareKeys for all members.
+  /// Throws std::invalid_argument on a malformed config (zero sizes,
+  /// threshold > cohort).
+  explicit SmpcSyncRound(Config config);
+
+  std::size_t cohort_size() const { return config_.cohort_size; }
+
+  /// Cohort member `member` (0-based) contributes its update.  The delta is
+  /// scaled by `weight` client-side, fixed-point encoded, masked, and
+  /// submitted.  Throws std::invalid_argument on an unknown member, a wrong
+  /// delta size, a non-positive weight, or a duplicate submission.
+  void submit(std::size_t member, std::span<const float> delta, double weight);
+
+  /// Members that submitted so far.
+  std::size_t submissions() const { return weights_.size(); }
+
+  /// Close the round: members that never submitted are the dropouts, the
+  /// survivors answer the unmasking leg, and the server decodes the
+  /// weighted mean.  Throws std::runtime_error if fewer than `threshold`
+  /// members submitted (the protocol refuses to release, Fig. 15).
+  RoundResult finalize();
+
+ private:
+  Config config_;
+  smpc::SmpcServer server_;
+  std::vector<smpc::SmpcClient> clients_;
+  std::map<std::size_t, double> weights_;  ///< member -> public weight
+  bool finalized_ = false;
+};
+
+}  // namespace papaya::fl

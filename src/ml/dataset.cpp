@@ -1,0 +1,81 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+namespace papaya::ml {
+
+FederatedCorpus::FederatedCorpus(CorpusConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed), zipf_(config.vocab_size, config.zipf_exponent) {
+  util::Rng rng(seed ^ 0x70f1c5ULL);
+  topic_params_.reserve(config_.num_topics);
+  for (std::size_t t = 0; t < config_.num_topics; ++t) {
+    // Odd multiplier so the affine map permutes Z_V when V is a power of two;
+    // any multiplier still yields learnable structure otherwise.
+    const std::uint64_t a = rng.uniform_int(config_.vocab_size / 2) * 2 + 1;
+    const std::uint64_t b = rng.uniform_int(config_.vocab_size);
+    topic_params_.emplace_back(a, b);
+  }
+}
+
+Sequence FederatedCorpus::generate_sequence(util::Rng& rng,
+                                            std::size_t topic) const {
+  const auto [a, b] = topic_params_[topic % topic_params_.size()];
+  const std::size_t len =
+      config_.seq_len_min +
+      rng.uniform_int(config_.seq_len_max - config_.seq_len_min + 1);
+  Sequence seq;
+  seq.reserve(len);
+  std::uint64_t tok = rng.uniform_int(config_.vocab_size);
+  seq.push_back(static_cast<std::int32_t>(tok));
+  for (std::size_t i = 1; i < len; ++i) {
+    if (rng.bernoulli(config_.noise)) {
+      tok = zipf_.sample(rng);
+    } else {
+      tok = (a * tok + b) % config_.vocab_size;
+    }
+    seq.push_back(static_cast<std::int32_t>(tok));
+  }
+  return seq;
+}
+
+ClientDataset FederatedCorpus::client_dataset(std::uint64_t client_id,
+                                              std::size_t num_examples) const {
+  util::Rng rng(seed_ ^ (client_id * 0x9e3779b97f4a7c15ULL + 1));
+  // Pick this client's topic mixture.
+  std::vector<std::size_t> topics(config_.topics_per_client);
+  for (auto& t : topics) t = rng.uniform_int(config_.num_topics);
+
+  std::vector<Sequence> all;
+  all.reserve(num_examples);
+  for (std::size_t i = 0; i < num_examples; ++i) {
+    const std::size_t topic = topics[rng.uniform_int(topics.size())];
+    all.push_back(generate_sequence(rng, topic));
+  }
+
+  // 80/10/10 random split; at least one training example when any exist.
+  ClientDataset out;
+  for (auto& seq : all) {
+    const double u = rng.uniform();
+    if (u < 0.8 || out.train.empty()) {
+      out.train.push_back(std::move(seq));
+    } else if (u < 0.9) {
+      out.validation.push_back(std::move(seq));
+    } else {
+      out.test.push_back(std::move(seq));
+    }
+  }
+  return out;
+}
+
+std::vector<Sequence> FederatedCorpus::global_test_set(
+    std::size_t num_examples) const {
+  util::Rng rng(seed_ ^ 0x7e57da7aULL);
+  std::vector<Sequence> out;
+  out.reserve(num_examples);
+  for (std::size_t i = 0; i < num_examples; ++i) {
+    out.push_back(generate_sequence(rng, rng.uniform_int(config_.num_topics)));
+  }
+  return out;
+}
+
+}  // namespace papaya::ml

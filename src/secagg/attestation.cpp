@@ -1,0 +1,57 @@
+#include "secagg/attestation.hpp"
+
+namespace papaya::secagg {
+
+SimulatedEnclavePlatform::SimulatedEnclavePlatform(std::uint64_t platform_secret) {
+  util::ByteWriter w;
+  w.str("papaya-simulated-sgx-platform-key");
+  w.u64(platform_secret);
+  const crypto::Digest d = crypto::Sha256::hash(w.data());
+  secret_.assign(d.begin(), d.end());
+}
+
+crypto::Digest SimulatedEnclavePlatform::compute_signature(
+    const AttestationQuote& quote) const {
+  util::ByteWriter w;
+  w.raw(quote.binary_measurement);
+  w.raw(quote.params_hash);
+  w.raw(quote.dh_message_hash);
+  return crypto::hmac_sha256(secret_, w.data());
+}
+
+AttestationQuote SimulatedEnclavePlatform::sign_quote(
+    const crypto::Digest& binary_measurement, const crypto::Digest& params_hash,
+    const crypto::Digest& dh_message_hash) const {
+  AttestationQuote quote;
+  quote.binary_measurement = binary_measurement;
+  quote.params_hash = params_hash;
+  quote.dh_message_hash = dh_message_hash;
+  quote.signature = compute_signature(quote);
+  return quote;
+}
+
+bool SimulatedEnclavePlatform::verify_quote(const AttestationQuote& quote) const {
+  return util::constant_time_equal(compute_signature(quote), quote.signature);
+}
+
+bool verify_attested_message(const SimulatedEnclavePlatform& platform,
+                             const AttestationQuote& quote,
+                             const QuoteExpectations& expectations,
+                             std::span<const std::uint8_t> dh_initial_message,
+                             const crypto::InclusionProof& log_proof) {
+  if (!platform.verify_quote(quote)) return false;
+  if (!util::constant_time_equal(quote.params_hash,
+                                 expectations.expected_params_hash)) {
+    return false;
+  }
+  const crypto::Digest msg_hash = crypto::Sha256::hash(dh_initial_message);
+  if (!util::constant_time_equal(quote.dh_message_hash, msg_hash)) return false;
+
+  // The trusted binary must be logged: hash the measurement record and check
+  // the inclusion proof against the pinned snapshot.
+  const crypto::Digest leaf =
+      crypto::VerifiableLog::leaf_hash(quote.binary_measurement);
+  return crypto::verify_inclusion(leaf, log_proof, expectations.log_snapshot);
+}
+
+}  // namespace papaya::secagg

@@ -1,0 +1,112 @@
+#include "secagg/audit.hpp"
+
+#include <stdexcept>
+
+namespace papaya::secagg {
+
+util::Bytes BinaryRelease::record_bytes() const {
+  util::ByteWriter w;
+  w.raw({measurement.data(), measurement.size()});
+  w.str(manifest);
+  return std::move(w).take();
+}
+
+crypto::Digest BinaryRelease::leaf_hash() const {
+  return crypto::VerifiableLog::leaf_hash(record_bytes());
+}
+
+std::uint64_t ReleaseRegistry::publish(BinaryRelease release) {
+  const std::uint64_t index = log_.append(release.record_bytes());
+  releases_.push_back(std::move(release));
+  return index;
+}
+
+crypto::InclusionProof ReleaseRegistry::prove_release(
+    std::uint64_t index) const {
+  return log_.prove_inclusion(index);
+}
+
+crypto::ConsistencyProof ReleaseRegistry::prove_since(
+    std::uint64_t old_size) const {
+  return log_.prove_consistency(old_size);
+}
+
+const BinaryRelease& ReleaseRegistry::current_release() const {
+  if (releases_.empty()) {
+    throw std::logic_error("ReleaseRegistry: no releases published");
+  }
+  return releases_.back();
+}
+
+Auditor::Report Auditor::audit(const ReleaseRegistry& registry) {
+  Report report;
+  const crypto::LogSnapshot latest = registry.latest_snapshot();
+
+  if (last_snapshot_.has_value() && last_snapshot_->tree_size > 0) {
+    // The log may only have grown from what we saw last time.
+    if (latest.tree_size < last_snapshot_->tree_size) {
+      return report;  // shrunk: equivocation
+    }
+    const auto proof = registry.prove_since(last_snapshot_->tree_size);
+    if (!crypto::verify_consistency(*last_snapshot_, latest, proof)) {
+      return report;  // history rewritten: equivocation
+    }
+  }
+
+  report.consistent = true;
+  report.snapshot = latest;
+  const auto& releases = registry.releases();
+  for (std::uint64_t i = releases_seen_; i < releases.size(); ++i) {
+    report.new_releases.push_back(releases[i]);
+  }
+  releases_seen_ = releases.size();
+  last_snapshot_ = latest;
+  return report;
+}
+
+SnapshotPinningClient::SnapshotPinningClient(crypto::LogSnapshot pinned)
+    : pinned_(pinned) {}
+
+bool SnapshotPinningClient::advance(const crypto::LogSnapshot& newer,
+                                    const crypto::ConsistencyProof& proof) {
+  if (newer.tree_size < pinned_.tree_size) return false;
+  if (newer.tree_size == pinned_.tree_size) {
+    // Same size: only the identical root is acceptable.
+    if (newer.root != pinned_.root) return false;
+    return true;
+  }
+  if (!crypto::verify_consistency(pinned_, newer, proof)) return false;
+  pinned_ = newer;
+  return true;
+}
+
+bool SnapshotPinningClient::accepts_binary(
+    const crypto::Digest& measurement, const BinaryRelease& served_release,
+    const crypto::InclusionProof& proof) const {
+  // The served record must actually describe the attested binary — else a
+  // logged-but-different release could vouch for an unlogged binary.
+  if (served_release.measurement != measurement) return false;
+  return crypto::verify_inclusion(served_release.leaf_hash(), proof, pinned_);
+}
+
+bool verify_attested_release(const SimulatedEnclavePlatform& platform,
+                             const AttestationQuote& quote,
+                             const QuoteExpectations& expectations,
+                             std::span<const std::uint8_t> dh_initial_message,
+                             const BinaryRelease& served_release,
+                             const crypto::InclusionProof& log_proof) {
+  if (!platform.verify_quote(quote)) return false;
+  if (!util::constant_time_equal(quote.params_hash,
+                                 expectations.expected_params_hash)) {
+    return false;
+  }
+  const crypto::Digest msg_hash = crypto::Sha256::hash(dh_initial_message);
+  if (!util::constant_time_equal(quote.dh_message_hash, msg_hash)) {
+    return false;
+  }
+  if (served_release.measurement != quote.binary_measurement) return false;
+  return crypto::verify_inclusion(served_release.leaf_hash(), log_proof,
+                                  expectations.log_snapshot);
+}
+
+}  // namespace papaya::secagg

@@ -1,0 +1,130 @@
+#pragma once
+// Trusted-binary release registry, auditors, and snapshot-pinning clients
+// (App. C.2, Fig. 20).
+//
+// The paper's update story: remote attestation against a *hardcoded* binary
+// hash would force a client update for every enclave release, so instead
+// every release is appended to a verifiable log.  Clients pin a log
+// *snapshot* and accept any binary with an inclusion proof against it;
+// auditors watch the log and verify it is append-only between snapshots, so
+// "no trusted binary that interacts with clients can avoid audition without
+// getting caught".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "secagg/attestation.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::secagg {
+
+/// One release: the enclave binary's measurement plus a human-auditable
+/// manifest ("the identity and manifest of the trusted binary", Fig. 20
+/// step 0 — in production the manifest points at source + build recipe so
+/// auditors can reproduce the measurement).
+struct BinaryRelease {
+  crypto::Digest measurement{};
+  std::string manifest;
+
+  /// The exact bytes appended to the verifiable log.
+  util::Bytes record_bytes() const;
+  /// Leaf hash of this release in the log.
+  crypto::Digest leaf_hash() const;
+};
+
+/// Operator side: owns the log, publishes releases, serves snapshots and
+/// proofs over the same API to clients and auditors (App. C.2: "both clients
+/// and auditors use the same API", so they necessarily see the same log).
+class ReleaseRegistry {
+ public:
+  /// Append a release.  Returns its log index.
+  std::uint64_t publish(BinaryRelease release);
+
+  std::uint64_t size() const { return log_.size(); }
+  crypto::LogSnapshot latest_snapshot() const { return log_.snapshot(); }
+
+  /// Inclusion proof for release `index` against the latest snapshot.
+  crypto::InclusionProof prove_release(std::uint64_t index) const;
+  /// Append-only proof from a previously served snapshot size.
+  crypto::ConsistencyProof prove_since(std::uint64_t old_size) const;
+
+  /// Full record list (Fig. 20 auditing step 2: "request for all the
+  /// records in the log ... to audit").
+  const std::vector<BinaryRelease>& releases() const { return releases_; }
+
+  /// The most recent release (what the enclave fleet should be running).
+  const BinaryRelease& current_release() const;
+
+ private:
+  crypto::VerifiableLog log_;
+  std::vector<BinaryRelease> releases_;
+};
+
+/// A public auditor: remembers the last snapshot it saw and, on every
+/// audit, (1) verifies the log grew append-only from it and (2) reads the
+/// releases appended since, to take away for (out-of-band) build
+/// reproduction.  A failed audit is evidence of operator equivocation.
+class Auditor {
+ public:
+  struct Report {
+    bool consistent = false;
+    crypto::LogSnapshot snapshot;            ///< latest, if consistent
+    std::vector<BinaryRelease> new_releases; ///< appended since last audit
+  };
+
+  Report audit(const ReleaseRegistry& registry);
+
+  const std::optional<crypto::LogSnapshot>& last_snapshot() const {
+    return last_snapshot_;
+  }
+
+ private:
+  std::optional<crypto::LogSnapshot> last_snapshot_;
+  std::uint64_t releases_seen_ = 0;
+};
+
+/// Client side of the update flow: ships pinned to a snapshot, accepts a
+/// binary measurement only with an inclusion proof against that snapshot,
+/// and moves its pin forward only across a verified consistency proof — so
+/// the operator can roll new enclave binaries without a client update, but
+/// can never swap history out from under the fleet.
+class SnapshotPinningClient {
+ public:
+  explicit SnapshotPinningClient(crypto::LogSnapshot pinned);
+
+  const crypto::LogSnapshot& pinned() const { return pinned_; }
+
+  /// Advance the pin to `newer` if the consistency proof shows the pinned
+  /// snapshot is a prefix of it.  Returns false (pin unchanged) otherwise.
+  bool advance(const crypto::LogSnapshot& newer,
+               const crypto::ConsistencyProof& proof);
+
+  /// Would this client trust the binary attested as `measurement`?  The
+  /// server serves the full release record alongside the proof; the client
+  /// recomputes the leaf hash, checks the record's measurement matches the
+  /// attested one, and verifies inclusion against the pinned snapshot.
+  bool accepts_binary(const crypto::Digest& measurement,
+                      const BinaryRelease& served_release,
+                      const crypto::InclusionProof& proof) const;
+
+ private:
+  crypto::LogSnapshot pinned_;
+};
+
+/// Release-record-aware variant of attestation.hpp's
+/// verify_attested_message: when the log carries full release records
+/// (measurement + manifest, as the ReleaseRegistry appends) rather than raw
+/// measurements, the inclusion leaf is the record hash, and the client must
+/// additionally check that the served record describes the attested binary.
+bool verify_attested_release(const SimulatedEnclavePlatform& platform,
+                             const AttestationQuote& quote,
+                             const QuoteExpectations& expectations,
+                             std::span<const std::uint8_t> dh_initial_message,
+                             const BinaryRelease& served_release,
+                             const crypto::InclusionProof& log_proof);
+
+}  // namespace papaya::secagg

@@ -1,0 +1,49 @@
+#pragma once
+// Host <-> TEE boundary accounting (Sec. 5, Fig. 6).
+//
+// Crossing the enclave boundary is the scarce resource the Asynchronous
+// SecAgg design optimizes: naive TEE aggregation moves O(K*m) bytes across
+// it, AsyncSecAgg moves O(K + m).  Every simulated TEE call is metered here
+// so benchmarks can report transfer volumes and estimated transfer times.
+
+#include <cstdint>
+
+namespace papaya::secagg {
+
+/// Running byte/call counters for one enclave instance.
+class BoundaryMeter {
+ public:
+  void record_call(std::uint64_t bytes_in, std::uint64_t bytes_out) {
+    ++calls_;
+    bytes_in_ += bytes_in;
+    bytes_out_ += bytes_out;
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+  std::uint64_t total_bytes() const { return bytes_in_ + bytes_out_; }
+
+  void reset() { calls_ = bytes_in_ = bytes_out_ = 0; }
+
+ private:
+  std::uint64_t calls_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+/// Linear cost model for boundary crossings, calibrated so that moving
+/// 100 x 20 MB across the boundary costs ~650 ms, matching the paper's
+/// measurement in Fig. 6 ("nearly 650 milliseconds for 100 clients, each
+/// with a 20MB model").
+struct BoundaryCostModel {
+  double per_call_us = 10.0;       ///< fixed ecall/ocall transition cost
+  double per_byte_ns = 0.325;      ///< copy + (re)encryption cost per byte
+
+  double transfer_time_ms(const BoundaryMeter& meter) const {
+    return meter.calls() * per_call_us / 1000.0 +
+           static_cast<double>(meter.total_bytes()) * per_byte_ns / 1e6;
+  }
+};
+
+}  // namespace papaya::secagg

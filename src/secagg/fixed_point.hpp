@@ -1,0 +1,49 @@
+#pragma once
+// Fixed-point <-> floating-point conversion for secure aggregation (App. D).
+//
+// A real number a is scaled by a factor c and rounded to the nearest integer
+// [ca], then mapped onto Z_{2^32} via two's complement.  Group-element
+// addition simulates integer addition as long as no intermediate sum leaves
+// [-2^31, 2^31), so callers must budget the scaling factor against the
+// expected magnitude of aggregated updates; `max_aggregatable_magnitude`
+// makes that budget explicit.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "secagg/group.hpp"
+
+namespace papaya::secagg {
+
+/// Conversion parameters shared by all protocol participants.
+struct FixedPointParams {
+  /// Scaling factor c: reals are represented with resolution 1/c.
+  double scale = 1 << 16;
+
+  /// Largest |sum| representable without wrap-around.
+  double max_aggregatable_magnitude() const {
+    return (static_cast<double>(1ULL << 31) - 1.0) / scale;
+  }
+
+  /// Choose a scale so that aggregating `num_updates` updates each bounded by
+  /// `per_update_magnitude` keeps a 2x safety margin against wrap-around.
+  static FixedPointParams for_budget(double per_update_magnitude,
+                                     std::size_t num_updates);
+};
+
+/// Encode one real number into a group element.
+std::uint32_t encode_value(double v, const FixedPointParams& params);
+
+/// Decode one group element back into a real number (interprets the element
+/// as a signed two's-complement integer).
+double decode_value(std::uint32_t e, const FixedPointParams& params);
+
+/// Encode a float vector into a group vector.
+GroupVec encode(std::span<const float> values, const FixedPointParams& params);
+
+/// Decode a group vector (typically an aggregated sum) back into floats.
+std::vector<float> decode(std::span<const std::uint32_t> elements,
+                          const FixedPointParams& params);
+
+}  // namespace papaya::secagg

@@ -1,0 +1,37 @@
+#include "secagg/group.hpp"
+
+#include <stdexcept>
+
+namespace papaya::secagg {
+
+namespace {
+void check_sizes(std::size_t a, std::size_t b) {
+  if (a != b) throw std::invalid_argument("GroupVec: size mismatch");
+}
+}  // namespace
+
+void add_in_place(GroupVec& out, std::span<const std::uint32_t> rhs) {
+  check_sizes(out.size(), rhs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += rhs[i];
+}
+
+void sub_in_place(GroupVec& out, std::span<const std::uint32_t> rhs) {
+  check_sizes(out.size(), rhs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= rhs[i];
+}
+
+GroupVec add(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  check_sizes(a.size(), b.size());
+  GroupVec out(a.begin(), a.end());
+  add_in_place(out, b);
+  return out;
+}
+
+GroupVec sub(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  check_sizes(a.size(), b.size());
+  GroupVec out(a.begin(), a.end());
+  sub_in_place(out, b);
+  return out;
+}
+
+}  // namespace papaya::secagg

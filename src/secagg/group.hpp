@@ -1,0 +1,31 @@
+#pragma once
+// Finite Abelian group vectors for secure aggregation.
+//
+// The protocol (App. A.2, Fig. 14) operates over G^l for a finite Abelian
+// group G.  We use G = Z_{2^32}: element-wise addition of std::uint32_t with
+// natural wrap-around.  App. D's signed-integer mapping onto Z_n coincides
+// with two's-complement representation when n = 2^32, which makes encode /
+// decode exact and fast.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace papaya::secagg {
+
+/// A vector over Z_{2^32}.
+using GroupVec = std::vector<std::uint32_t>;
+
+/// out[i] += rhs[i] (mod 2^32).  Sizes must match.
+void add_in_place(GroupVec& out, std::span<const std::uint32_t> rhs);
+
+/// out[i] -= rhs[i] (mod 2^32).  Sizes must match.
+void sub_in_place(GroupVec& out, std::span<const std::uint32_t> rhs);
+
+/// Element-wise a + b.
+GroupVec add(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+/// Element-wise a - b.
+GroupVec sub(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+}  // namespace papaya::secagg

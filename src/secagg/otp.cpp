@@ -1,0 +1,24 @@
+#include "secagg/otp.hpp"
+
+#include "crypto/chacha20.hpp"
+
+namespace papaya::secagg {
+
+GroupVec expand_mask(const Seed& seed, std::size_t length) {
+  crypto::MaskPrng prng(seed);
+  return prng.words(length);
+}
+
+GroupVec mask(std::span<const std::uint32_t> plaintext, const Seed& seed) {
+  GroupVec out(plaintext.begin(), plaintext.end());
+  crypto::MaskPrng prng(seed);
+  for (auto& e : out) e += prng.next_u32();
+  return out;
+}
+
+GroupVec unmask(std::span<const std::uint32_t> aggregate,
+                std::span<const std::uint32_t> mask_sum) {
+  return sub(aggregate, mask_sum);
+}
+
+}  // namespace papaya::secagg

@@ -1,0 +1,66 @@
+#include "secagg/secagg_server.hpp"
+
+#include <stdexcept>
+
+namespace papaya::secagg {
+
+SecureAggregationSession::SecureAggregationSession(TrustedSecureAggregator& tsa,
+                                                   std::size_t vector_length,
+                                                   std::size_t aggregation_goal)
+    : tsa_(tsa), masked_sum_(vector_length, 0), goal_(aggregation_goal) {
+  if (aggregation_goal == 0) {
+    throw std::invalid_argument("SecureAggregationSession: goal must be > 0");
+  }
+}
+
+TsaAccept SecureAggregationSession::accept(const ClientContribution& c) {
+  if (c.masked_update.size() != masked_sum_.size()) {
+    throw std::invalid_argument("SecureAggregationSession: wrong update size");
+  }
+  const TsaAccept verdict = tsa_.process_contribution(
+      c.message_index, c.completing_message, c.sealed_seed,
+      /*sequence=*/c.message_index);
+  if (verdict == TsaAccept::kAccepted) {
+    add_in_place(masked_sum_, c.masked_update);
+    ++accepted_;
+  }
+  return verdict;
+}
+
+std::optional<GroupVec> SecureAggregationSession::finalize() {
+  const auto mask_sum = tsa_.request_unmask();
+  if (!mask_sum) return std::nullopt;
+  return unmask(masked_sum_, *mask_sum);
+}
+
+std::optional<std::vector<float>> SecureAggregationSession::finalize_decoded(
+    const FixedPointParams& fp) {
+  const auto sum = finalize();
+  if (!sum) return std::nullopt;
+  return decode(*sum, fp);
+}
+
+NaiveTeeAggregator::NaiveTeeAggregator(std::size_t vector_length,
+                                       std::size_t threshold)
+    : sum_(vector_length, 0), threshold_(threshold) {}
+
+void NaiveTeeAggregator::submit_update(
+    std::span<const std::uint32_t> encrypted_update) {
+  if (encrypted_update.size() != sum_.size()) {
+    throw std::invalid_argument("NaiveTeeAggregator: wrong update size");
+  }
+  // The whole ciphertext crosses the boundary: that is the O(K*m) term.
+  boundary_.record_call(encrypted_update.size() * sizeof(std::uint32_t), 1);
+  add_in_place(sum_, encrypted_update);
+  ++count_;
+}
+
+std::optional<GroupVec> NaiveTeeAggregator::release() {
+  boundary_.record_call(0, count_ >= threshold_
+                               ? sum_.size() * sizeof(std::uint32_t)
+                               : 1);
+  if (count_ < threshold_) return std::nullopt;
+  return sum_;
+}
+
+}  // namespace papaya::secagg

@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace papaya::sim {
+
+void EventQueue::schedule_at(double when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push({when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, EventFn fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  Event event = heap_.top();
+  heap_.pop();
+  now_ = event.time;
+  event.fn(now_);
+  return true;
+}
+
+void EventQueue::run_until(double until, const std::function<bool()>& stop) {
+  while (!heap_.empty() && heap_.top().time <= until) {
+    if (stop && stop()) return;
+    step();
+  }
+  if (now_ < until && (!stop || !stop())) now_ = until;
+}
+
+}  // namespace papaya::sim

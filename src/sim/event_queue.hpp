@@ -1,0 +1,54 @@
+#pragma once
+// Discrete-event simulation core: a virtual clock and an event queue.
+//
+// All wall-clock quantities in the reproduction (round durations, time to
+// target loss, server updates per hour) are measured on this clock, so the
+// comparisons between SyncFL and AsyncFL are ratios within one consistent
+// time base (DESIGN.md substitution table).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace papaya::sim {
+
+using EventFn = std::function<void(double now)>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  void schedule_at(double when, EventFn fn);
+  /// Schedule `fn` after `delay` seconds.
+  void schedule_in(double delay, EventFn fn);
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Pop and run the next event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue empties, `until` is reached, or `stop` returns
+  /// true (checked between events).
+  void run_until(double until, const std::function<bool()>& stop = nullptr);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace papaya::sim

@@ -1,0 +1,485 @@
+#include "sim/fl_simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace papaya::sim {
+
+namespace {
+
+std::unique_ptr<ml::LanguageModel> build_model(ModelKind kind,
+                                               const ml::LmConfig& cfg,
+                                               util::Rng& rng) {
+  switch (kind) {
+    case ModelKind::kMlp:
+      return ml::make_mlp_lm(cfg, rng);
+    case ModelKind::kLstm:
+      return ml::make_lstm_lm(cfg, rng);
+  }
+  throw std::logic_error("unknown model kind");
+}
+
+}  // namespace
+
+FlSimulator::FlSimulator(SimulationConfig config)
+    : config_(std::move(config)), rng_(config_.seed ^ 0x51713ULL) {
+  corpus_ = std::make_unique<ml::FederatedCorpus>(config_.corpus, config_.seed);
+  population_ = std::make_unique<DevicePopulation>(config_.population);
+  network_ = std::make_unique<NetworkModel>(config_.network);
+
+  // Build the initial global model deterministically from the seed.
+  util::Rng init_rng(config_.seed ^ 0x0de1ULL);
+  auto initial_model = build_model(config_.model_kind, config_.model, init_rng);
+  const std::size_t model_size = initial_model->num_params();
+  config_.task.model_size = model_size;
+  model_bytes_ = model_size * sizeof(float);
+
+  model_store_ = std::make_unique<fl::ModelStore>(config_.model_store);
+  executor_ = std::make_unique<fl::Executor>(initial_model->clone(),
+                                             config_.trainer);
+  eval_model_ = initial_model->clone();
+  eval_set_ = corpus_->global_test_set(config_.eval_set_size);
+
+  // Server components.
+  coordinator_ = std::make_unique<fl::Coordinator>(config_.seed);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.num_aggregators);
+       ++i) {
+    // Single-threaded aggregation pipeline: keeps float summation order, and
+    // therefore whole simulations, bit-for-bit reproducible.  The
+    // multi-threaded pipeline is exercised by tests/ and bench_micro_*.
+    aggregators_.push_back(std::make_unique<fl::Aggregator>(
+        "agg-" + std::to_string(i), /*num_threads=*/1));
+    coordinator_->register_aggregator(*aggregators_.back(), 0.0);
+  }
+  std::vector<float> params(initial_model->params().begin(),
+                            initial_model->params().end());
+  coordinator_->submit_task(config_.task, std::move(params),
+                            config_.server_opt);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.num_selectors);
+       ++i) {
+    selectors_.push_back(
+        std::make_unique<fl::Selector>("sel-" + std::to_string(i)));
+    selectors_.back()->refresh(*coordinator_);
+  }
+
+  devices_.resize(population_->size());
+}
+
+FlSimulator::~FlSimulator() = default;
+
+std::unique_ptr<ml::LanguageModel> FlSimulator::make_model_with_params(
+    std::span<const float> params) const {
+  util::Rng init_rng(config_.seed ^ 0x0de1ULL);
+  auto model = build_model(config_.model_kind, config_.model, init_rng);
+  if (params.size() != model->num_params()) {
+    throw std::invalid_argument("make_model_with_params: size mismatch");
+  }
+  std::copy(params.begin(), params.end(), model->params().begin());
+  return model;
+}
+
+fl::Aggregator* FlSimulator::route_to_owner() {
+  fl::Selector& selector = *selectors_[rng_.uniform_int(selectors_.size())];
+  auto agg_id = selector.route(config_.task.name);
+  if (!agg_id) {
+    // Stale-map miss: retry via another Selector after refresh (App. E.4).
+    fl::Selector& retry = *selectors_[rng_.uniform_int(selectors_.size())];
+    retry.refresh(*coordinator_);
+    agg_id = retry.route(config_.task.name);
+  }
+  if (!agg_id) return nullptr;
+  for (auto& aggregator : aggregators_) {
+    if (aggregator->id() == *agg_id && aggregator->has_task(config_.task.name)) {
+      return aggregator.get();
+    }
+  }
+  return nullptr;
+}
+
+fl::ClientRuntime& FlSimulator::runtime_for(std::size_t device) {
+  DeviceState& state = devices_.at(device);
+  if (!state.runtime) {
+    const DeviceProfile& profile = population_->device(device);
+    fl::ExampleStore store(
+        corpus_->client_dataset(profile.id, profile.num_examples),
+        /*max_retained_examples=*/10000);
+    state.runtime =
+        std::make_unique<fl::ClientRuntime>(profile.id, std::move(store));
+  }
+  return *state.runtime;
+}
+
+void FlSimulator::record_active(double now) {
+  if (config_.record_utilization) {
+    result_.active_clients.add(now, static_cast<double>(active_count_));
+  }
+}
+
+void FlSimulator::schedule_check_in(std::size_t device, double delay) {
+  queue_.schedule_in(delay, [this, device](double now) {
+    if (!stopped_) handle_check_in(device, now);
+  });
+}
+
+void FlSimulator::handle_check_in(std::size_t device, double now) {
+  DeviceState& state = devices_[device];
+  if (state.participating) return;
+
+  const double backoff = rng_.exponential(1.0 / config_.mean_checkin_interval_s);
+
+  // Device-side eligibility (Sec. 4): idle / charging / unmetered modelled
+  // as a Bernoulli availability draw per check-in, plus the participation-
+  // history policy.
+  fl::ClientRuntime& runtime = runtime_for(device);
+  runtime.conditions().idle = !rng_.bernoulli(config_.device_unavailable_prob);
+  if (!runtime.check_in_allowed(config_.eligibility, now)) {
+    schedule_check_in(device, backoff);
+    return;
+  }
+
+  // Selection phase (Sec. 6.1): ask the Coordinator for an eligible task.
+  const DeviceProfile& profile = population_->device(device);
+  fl::ClientCapabilities caps{profile.capabilities};
+  const auto assignment = coordinator_->assign_client(caps);
+  if (!assignment) {
+    schedule_check_in(device, backoff);
+    return;
+  }
+
+  // Route through a random Selector; on a stale-map miss, refresh and retry
+  // through another Selector (App. E.4).
+  fl::Aggregator* aggregator = route_to_owner();
+  if (aggregator == nullptr || aggregator->id() == failed_aggregator_) {
+    coordinator_->assignment_concluded(assignment->task);
+    schedule_check_in(device, backoff);
+    return;
+  }
+
+  const fl::JoinResult join =
+      aggregator->client_join(assignment->task, profile.id, now);
+  coordinator_->assignment_concluded(assignment->task);
+  if (!join.accepted) {
+    schedule_check_in(device, backoff);
+    return;
+  }
+
+  // Participation begins: snapshot the model the client downloads.
+  state.participating = true;
+  ++state.generation;
+  state.version_at_join = join.model_version;
+  state.join_time = now;
+  const std::vector<float>& model = aggregator->model(assignment->task);
+  state.model_snapshot.assign(model.begin(), model.end());
+  state.exec_time = population_->sample_exec_time(device, rng_);
+  ++result_.participations_started;
+  ++active_count_;
+  record_active(now);
+  runtime_for(device).record_participation(now);
+
+  const double download = network_->download_time_s(model_bytes_, rng_);
+  const std::uint64_t generation = state.generation;
+
+  if (rng_.bernoulli(profile.dropout_prob)) {
+    // Mid-participation dropout at a uniform point in local training.
+    const double when = download + rng_.uniform() * state.exec_time;
+    queue_.schedule_in(when, [this, device, generation](double t) {
+      if (!stopped_) handle_dropout(device, generation, t);
+    });
+    return;
+  }
+
+  const double upload = network_->upload_time_s(model_bytes_, rng_);
+  queue_.schedule_in(download + state.exec_time + upload,
+                     [this, device, generation](double t) {
+                       if (!stopped_) handle_completion(device, generation, t);
+                     });
+}
+
+void FlSimulator::end_participation(std::size_t device, double now,
+                                    bool reschedule) {
+  DeviceState& state = devices_[device];
+  if (!state.participating) return;
+  state.participating = false;
+  ++state.generation;  // cancels any in-flight events for this participation
+  state.model_snapshot.clear();
+  state.model_snapshot.shrink_to_fit();
+  assert(active_count_ > 0);
+  --active_count_;
+  record_active(now);
+  if (reschedule && !stopped_) {
+    schedule_check_in(device,
+                      rng_.exponential(1.0 / config_.mean_checkin_interval_s));
+  }
+}
+
+void FlSimulator::handle_dropout(std::size_t device, std::uint64_t generation,
+                                 double now) {
+  DeviceState& state = devices_[device];
+  if (!state.participating || state.generation != generation) return;
+
+  const DeviceProfile& profile = population_->device(device);
+  if (fl::Aggregator* owner = route_to_owner(); owner != nullptr) {
+    owner->client_failed(config_.task.name, profile.id, now);
+  }
+
+  if (config_.record_participations) {
+    ParticipationRecord rec;
+    rec.client_id = profile.id;
+    rec.start_time = state.join_time;
+    rec.exec_time_s = state.exec_time;
+    rec.num_examples = profile.num_examples;
+    rec.dropped_out = true;
+    result_.participations.push_back(rec);
+  }
+  end_participation(device, now, /*reschedule=*/true);
+}
+
+void FlSimulator::handle_completion(std::size_t device,
+                                    std::uint64_t generation, double now) {
+  DeviceState& state = devices_[device];
+  if (!state.participating || state.generation != generation) return;
+
+  const DeviceProfile& profile = population_->device(device);
+  fl::ClientRuntime& runtime = runtime_for(device);
+
+  // Run the actual local training on the snapshot downloaded at join time.
+  util::Rng train_rng(config_.seed ^ (profile.id * 0x7f4a7c15ULL) ^
+                      state.generation);
+  const fl::LocalTrainingResult training =
+      executor_->train(state.model_snapshot, state.version_at_join, profile.id,
+                       runtime.store(), train_rng);
+
+  fl::Aggregator* owner = route_to_owner();
+  if (owner == nullptr || owner->id() == failed_aggregator_) {
+    // No live owner reachable (failover in progress): the upload is lost.
+    end_participation(device, now, /*reschedule=*/true);
+    return;
+  }
+  fl::Aggregator& aggregator = *owner;
+  fl::ReportResult report;
+  if (config_.task.secagg_enabled) {
+    // Report stage hands back the SecAgg upload config; the client verifies
+    // the attestation, masks, and uploads (Sec. 6.1 stages 3-4).
+    const auto upload = aggregator.secure_upload_config(config_.task.name);
+    const auto secure_report =
+        upload ? fl::SecureBufferManager::prepare_report(
+                     aggregator.secure_platform(config_.task.name), *upload,
+                     profile.id, state.version_at_join,
+                     training.update.num_examples,
+                     aggregator.secure_update_weight(
+                         config_.task.name, training.update.num_examples),
+                     training.update.delta, config_.seed ^ profile.id)
+               : std::nullopt;
+    if (secure_report) {
+      report = aggregator.client_report_secure(config_.task.name,
+                                               *secure_report, now);
+    } else {
+      aggregator.client_failed(config_.task.name, profile.id, now);
+      report.outcome = fl::ReportOutcome::kRejectedUnknown;
+    }
+  } else {
+    // Chunked upload (Sec. 6.1 stage 4): the serialized update travels as
+    // CRC-checked chunks and is reassembled server-side.
+    const util::Bytes serialized = training.update.serialize();
+    const auto chunks =
+        fl::chunk_upload(profile.id ^ state.generation, serialized,
+                         config_.upload_chunk_bytes);
+    fl::ChunkAssembler assembler(profile.id ^ state.generation);
+    for (const auto& chunk : chunks) {
+      assembler.accept(fl::UploadChunk::deserialize(chunk.serialize()));
+    }
+    const auto reassembled = assembler.assemble();
+    if (!reassembled) {
+      aggregator.client_failed(config_.task.name, profile.id, now);
+      report.outcome = fl::ReportOutcome::kRejectedUnknown;
+    } else {
+      report = aggregator.client_report(config_.task.name, *reassembled, now);
+    }
+  }
+
+  if (config_.record_participations) {
+    ParticipationRecord rec;
+    rec.client_id = profile.id;
+    rec.start_time = state.join_time;
+    rec.exec_time_s = state.exec_time;
+    rec.num_examples = profile.num_examples;
+    rec.update_applied = report.outcome == fl::ReportOutcome::kAccepted;
+    rec.staleness =
+        aggregator.model_version(config_.task.name) - state.version_at_join;
+    result_.participations.push_back(rec);
+  }
+
+  end_participation(device, now, /*reschedule=*/true);
+
+  if (report.server_stepped) {
+    // Publish the new server model through the write-bandwidth-limited
+    // store (Sec. 7.3); stalls are metered into the result.
+    const std::uint64_t version =
+        aggregator.model_version(config_.task.name);
+    if (version > last_published_version_) {
+      (void)model_store_->publish(version, model_bytes_, now);
+      last_published_version_ = version;
+    }
+    on_aborted_clients(report.aborted_clients, now);
+    maybe_evaluate(now, /*force=*/false);
+
+    const fl::TaskStats& stats = aggregator.stats(config_.task.name);
+    if (!stopped_ && config_.max_server_steps > 0 &&
+        stats.server_steps >= config_.max_server_steps) {
+      stop(now);
+    }
+    if (!stopped_ && config_.max_applied_updates > 0 &&
+        stats.updates_applied >= config_.max_applied_updates) {
+      stop(now);
+    }
+  }
+}
+
+void FlSimulator::on_aborted_clients(const std::vector<std::uint64_t>& aborted,
+                                     double now) {
+  for (const std::uint64_t client_id : aborted) {
+    const auto device = static_cast<std::size_t>(client_id);
+    if (device >= devices_.size()) continue;
+    DeviceState& state = devices_[device];
+    if (!state.participating) continue;
+    if (config_.record_participations) {
+      const DeviceProfile& profile = population_->device(device);
+      ParticipationRecord rec;
+      rec.client_id = client_id;
+      rec.start_time = state.join_time;
+      rec.exec_time_s = state.exec_time;
+      rec.num_examples = profile.num_examples;
+      rec.update_applied = false;
+      result_.participations.push_back(rec);
+    }
+    end_participation(device, now, /*reschedule=*/true);
+  }
+}
+
+void FlSimulator::maybe_evaluate(double now, bool force) {
+  fl::Aggregator* owner = route_to_owner();
+  if (owner == nullptr) return;
+  fl::Aggregator& aggregator = *owner;
+  const fl::TaskStats& stats = aggregator.stats(config_.task.name);
+  if (!force && config_.eval_every_steps > 1 &&
+      stats.server_steps % config_.eval_every_steps != 0) {
+    return;
+  }
+  const std::vector<float>& model = aggregator.model(config_.task.name);
+  std::copy(model.begin(), model.end(), eval_model_->params().begin());
+  const double loss = eval_model_->loss(eval_set_, {});
+  result_.loss_curve.add(now, loss);
+  if (!stopped_ && config_.target_loss > 0.0 && loss <= config_.target_loss) {
+    result_.reached_target = true;
+    result_.time_to_target_s = now;
+    stop(now);
+  }
+}
+
+void FlSimulator::handle_server_report_tick(double now) {
+  if (stopped_) return;
+  // Injected Aggregator failure (App. E.4): the Coordinator notices the
+  // missed heartbeats and moves the task; Selectors pick up the new map on
+  // their next refresh below.
+  if (!failed_aggregator_.empty()) {
+    coordinator_->detect_failures(now, config_.aggregator_failure_timeout_s);
+  }
+  // Server-side timeout sweep frees slots held by clients that will never
+  // report (App. E.1: "considered dead due to missed heartbeats").
+  for (auto& aggregator : aggregators_) {
+    if (aggregator->id() == failed_aggregator_) continue;  // crashed: silent
+    if (!aggregator->has_task(config_.task.name)) {
+      // Idle aggregators still heartbeat (empty report).
+      coordinator_->aggregator_report(aggregator->id(),
+                                      aggregator->next_report_sequence(), now,
+                                      {});
+      continue;
+    }
+    const auto expired = aggregator->expire_timeouts(config_.task.name, now);
+    for (const std::uint64_t client_id : expired) {
+      const auto device = static_cast<std::size_t>(client_id);
+      if (device < devices_.size() && devices_[device].participating) {
+        if (config_.record_participations) {
+          const DeviceProfile& profile = population_->device(device);
+          ParticipationRecord rec;
+          rec.client_id = client_id;
+          rec.start_time = devices_[device].join_time;
+          rec.exec_time_s = devices_[device].exec_time;
+          rec.num_examples = profile.num_examples;
+          rec.dropped_out = true;
+          result_.participations.push_back(rec);
+        }
+        end_participation(device, now, /*reschedule=*/true);
+      }
+    }
+
+    // Periodic demand report to the Coordinator (Sec. 6.2).
+    std::vector<fl::TaskReport> reports;
+    for (const auto& task : aggregator->task_names()) {
+      reports.push_back({task, aggregator->client_demand(task),
+                         aggregator->model_version(task)});
+    }
+    coordinator_->aggregator_report(aggregator->id(),
+                                    aggregator->next_report_sequence(), now,
+                                    reports);
+  }
+  // Selectors refresh their assignment maps "on every report" (App. E.4).
+  for (auto& selector : selectors_) selector->refresh(*coordinator_);
+
+  queue_.schedule_in(config_.report_interval_s,
+                     [this](double t) { handle_server_report_tick(t); });
+}
+
+void FlSimulator::stop(double now) {
+  stopped_ = true;
+  result_.end_time_s = now;
+}
+
+SimulationResult FlSimulator::run() {
+  // Stagger initial device check-ins across one check-in interval.
+  for (std::size_t device = 0; device < devices_.size(); ++device) {
+    schedule_check_in(device,
+                      rng_.uniform(0.0, config_.mean_checkin_interval_s));
+  }
+  queue_.schedule_in(config_.report_interval_s,
+                     [this](double t) { handle_server_report_tick(t); });
+  if (config_.aggregator_failure_at_s > 0.0) {
+    queue_.schedule_at(config_.aggregator_failure_at_s, [this](double) {
+      // The current owner crashes: it stops heartbeating and serving.
+      if (fl::Aggregator* owner = route_to_owner(); owner != nullptr) {
+        failed_aggregator_ = owner->id();
+      }
+    });
+  }
+
+  queue_.run_until(config_.max_sim_time_s, [this] { return stopped_; });
+  if (!stopped_) stop(queue_.now());
+
+  // Final bookkeeping.  After a failover, stats reflect the current owner
+  // (counters on the crashed Aggregator died with it).
+  fl::Aggregator* owner = route_to_owner();
+  if (owner == nullptr) {
+    for (auto& a : aggregators_) {
+      if (a->has_task(config_.task.name)) owner = a.get();
+    }
+  }
+  if (owner == nullptr) {
+    throw std::logic_error("FlSimulator: task has no owner at shutdown");
+  }
+  fl::Aggregator& aggregator = *owner;
+  result_.task_stats = aggregator.stats(config_.task.name);
+  result_.server_steps = result_.task_stats.server_steps;
+  result_.comm_trips = result_.task_stats.updates_received;
+  result_.model_store_stats = model_store_->stats();
+
+  const std::vector<float>& model = aggregator.model(config_.task.name);
+  result_.final_model.assign(model.begin(), model.end());
+  std::copy(model.begin(), model.end(), eval_model_->params().begin());
+  result_.final_eval_loss = eval_model_->loss(eval_set_, {});
+  if (result_.loss_curve.size() == 0) {
+    result_.loss_curve.add(queue_.now(), result_.final_eval_loss);
+  }
+  return result_;
+}
+
+}  // namespace papaya::sim

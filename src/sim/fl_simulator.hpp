@@ -1,0 +1,197 @@
+#pragma once
+// End-to-end federated-learning simulator.
+//
+// Drives the production components of src/fl (Coordinator, Selectors,
+// Aggregators, client runtimes) over a discrete-event clock with a
+// heterogeneous device population, exactly as a fleet of real devices would
+// through the message-level API: check-in -> selection -> download -> local
+// training -> report -> chunked upload, with dropouts, timeouts, staleness
+// aborts, over-selection and mid-round replacement.  Local training is real
+// SGD on each client's non-IID data; server steps are real FedAdam steps.
+//
+// This module is the substitute for the paper's ~100M-device production
+// fleet (DESIGN.md): population sizes and model sizes are scaled down so the
+// experiments run on one machine, which rescales absolute numbers but not
+// the sync-vs-async comparison shapes.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fl/aggregator.hpp"
+#include "fl/chunking.hpp"
+#include "fl/client_runtime.hpp"
+#include "fl/coordinator.hpp"
+#include "fl/model_store.hpp"
+#include "fl/selector.hpp"
+#include "fl/task.hpp"
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/population.hpp"
+
+namespace papaya::sim {
+
+enum class ModelKind { kMlp, kLstm };
+
+struct SimulationConfig {
+  fl::TaskConfig task;
+  PopulationConfig population;
+  ml::CorpusConfig corpus;
+  ml::LmConfig model;
+  ModelKind model_kind = ModelKind::kMlp;
+  fl::TrainerConfig trainer;
+  ml::ServerOptimizerConfig server_opt;
+  NetworkConfig network;
+
+  /// Model-distribution store (Sec. 7.3): every server step publishes the
+  /// new model through this write-bandwidth-limited channel.  The default is
+  /// unconstrained; constrained configs meter how often steps outpace the
+  /// store (SimulationResult::model_store_stats) without perturbing the
+  /// training dynamics.
+  fl::ModelStore::Config model_store;
+
+  // -- Stopping criteria (first to trigger wins) ---------------------------
+  double target_loss = 0.0;              ///< 0 = disabled
+  double max_sim_time_s = 2.0e6;
+  std::uint64_t max_server_steps = 0;    ///< 0 = unlimited
+  std::uint64_t max_applied_updates = 0; ///< 0 = unlimited (Table 1 budget)
+
+  // -- Evaluation ----------------------------------------------------------
+  std::size_t eval_set_size = 150;
+  std::uint64_t eval_every_steps = 5;
+
+  // -- Client availability / server cadence --------------------------------
+  double mean_checkin_interval_s = 15.0;
+  double device_unavailable_prob = 0.2;  ///< not idle/charging/unmetered
+  /// Participation-history policy (Sec. 4: the client "tracks prior
+  /// participation history to enable fair and unbiased client selection").
+  fl::EligibilityPolicy eligibility;
+  double report_interval_s = 10.0;
+  /// Upload chunk size (Sec. 6.1 stage 4); uploads travel as CRC-checked
+  /// chunks reassembled server-side.
+  std::size_t upload_chunk_bytes = 64 * 1024;
+
+  std::size_t num_aggregators = 1;
+  std::size_t num_selectors = 2;
+  std::uint64_t seed = 1;
+
+  /// Failure injection (App. E.4): if > 0, the Aggregator owning the task
+  /// stops heartbeating at this sim time; the Coordinator must detect the
+  /// failure and move the task, and training must continue.
+  double aggregator_failure_at_s = 0.0;
+  /// Heartbeat timeout used by the Coordinator's failure detector.
+  double aggregator_failure_timeout_s = 30.0;
+
+  bool record_participations = true;
+  bool record_utilization = false;
+};
+
+struct SimulationResult {
+  bool reached_target = false;
+  double time_to_target_s = std::numeric_limits<double>::infinity();
+  double end_time_s = 0.0;
+  std::uint64_t server_steps = 0;
+  /// Client updates received at the server — the paper's "communication
+  /// trips" metric (Fig. 3 caption).
+  std::uint64_t comm_trips = 0;
+  /// Participations started (model downloads), including dropouts/aborts.
+  std::uint64_t participations_started = 0;
+  fl::TaskStats task_stats;
+
+  TimeSeries loss_curve;       ///< (sim time, evaluation loss)
+  TimeSeries active_clients;   ///< (sim time, # active) when recorded
+  std::vector<ParticipationRecord> participations;
+
+  double final_eval_loss = 0.0;
+  std::vector<float> final_model;
+
+  /// Write pressure on the model store (Sec. 7.3): stall_s > 0 means the
+  /// configured aggregation goal demanded more server-model publishes than
+  /// the store's write bandwidth sustains.
+  fl::ModelStore::Stats model_store_stats;
+};
+
+class FlSimulator {
+ public:
+  explicit FlSimulator(SimulationConfig config);
+  ~FlSimulator();
+
+  FlSimulator(const FlSimulator&) = delete;
+  FlSimulator& operator=(const FlSimulator&) = delete;
+
+  SimulationResult run();
+
+  /// The corpus (exposed so harnesses can evaluate the final model on
+  /// per-client test splits, e.g. Table 1's percentile analysis).
+  const ml::FederatedCorpus& corpus() const { return *corpus_; }
+  const DevicePopulation& population() const { return *population_; }
+
+  /// Build a fresh model with this simulation's architecture and parameters.
+  std::unique_ptr<ml::LanguageModel> make_model_with_params(
+      std::span<const float> params) const;
+
+ private:
+  struct DeviceState {
+    std::unique_ptr<fl::ClientRuntime> runtime;  // lazily materialized
+    std::uint64_t generation = 0;  ///< bumped to cancel in-flight events
+    bool participating = false;
+    std::vector<float> model_snapshot;  ///< params downloaded at join
+    std::uint64_t version_at_join = 0;
+    double join_time = 0.0;
+    double exec_time = 0.0;
+  };
+
+  void schedule_check_in(std::size_t device, double delay);
+  void handle_check_in(std::size_t device, double now);
+  /// The Aggregator currently owning the task, routed through a Selector's
+  /// cached map exactly as a client request would be (nullptr on a stale
+  /// routing miss).
+  fl::Aggregator* route_to_owner();
+  void handle_completion(std::size_t device, std::uint64_t generation,
+                         double now);
+  void handle_dropout(std::size_t device, std::uint64_t generation, double now);
+  void handle_server_report_tick(double now);
+  void end_participation(std::size_t device, double now, bool reschedule);
+  void on_aborted_clients(const std::vector<std::uint64_t>& aborted, double now);
+  void maybe_evaluate(double now, bool force);
+  void record_active(double now);
+  bool should_stop() const { return stopped_; }
+  void stop(double now);
+
+  fl::ClientRuntime& runtime_for(std::size_t device);
+
+  SimulationConfig config_;
+  util::Rng rng_;
+  EventQueue queue_;
+
+  std::unique_ptr<ml::FederatedCorpus> corpus_;
+  std::unique_ptr<DevicePopulation> population_;
+  std::unique_ptr<NetworkModel> network_;
+  std::unique_ptr<fl::Executor> executor_;
+  std::vector<ml::Sequence> eval_set_;
+  std::unique_ptr<ml::LanguageModel> eval_model_;
+
+  std::vector<std::unique_ptr<fl::Aggregator>> aggregators_;
+  std::unique_ptr<fl::Coordinator> coordinator_;
+  std::vector<std::unique_ptr<fl::Selector>> selectors_;
+
+  std::vector<DeviceState> devices_;
+  std::map<std::uint64_t, std::size_t> active_by_client_id_;
+
+  SimulationResult result_;
+  std::unique_ptr<fl::ModelStore> model_store_;
+  std::uint64_t last_published_version_ = 0;
+  std::uint64_t model_bytes_ = 0;
+  std::size_t active_count_ = 0;
+  bool stopped_ = false;
+  std::string failed_aggregator_;  ///< injected failure, stops heartbeating
+};
+
+}  // namespace papaya::sim

@@ -1,0 +1,17 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace papaya::sim {
+
+double TimeSeries::value_at(double t) const {
+  if (times.empty() || t < times.front()) {
+    return std::nan("");
+  }
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times.begin()) - 1;
+  return values[idx];
+}
+
+}  // namespace papaya::sim

@@ -1,0 +1,39 @@
+#pragma once
+// Metrics recording for the evaluation harness.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace papaya::sim {
+
+/// A (time, value) series, e.g. loss vs sim-time or active clients vs time.
+struct TimeSeries {
+  std::vector<double> times;
+  std::vector<double> values;
+
+  void add(double t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+  std::size_t size() const { return times.size(); }
+
+  /// Last value at or before time t (or NaN if none).
+  double value_at(double t) const;
+};
+
+/// One client participation, recorded for the Sec. 7.4 fairness analysis
+/// (Fig. 11 distributions, KS tests).
+struct ParticipationRecord {
+  std::uint64_t client_id = 0;
+  double start_time = 0.0;
+  double exec_time_s = 0.0;       ///< local-training duration
+  std::size_t num_examples = 0;
+  /// Whether the client's update ended up counted toward a server step.
+  bool update_applied = false;
+  /// Whether the client dropped out mid-participation.
+  bool dropped_out = false;
+  std::uint64_t staleness = 0;    ///< at upload (applied updates only)
+};
+
+}  // namespace papaya::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Network/latency model for client <-> server traffic.
+//
+// Clients download the model from a CDN and upload serialized updates in
+// chunks (Sec. 6.1).  The model here is a per-device bandwidth draw plus a
+// round-trip latency; it shifts absolute times without changing the
+// sync-vs-async comparison, and it gives the "communication trips"
+// accounting a concrete byte volume.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace papaya::sim {
+
+struct NetworkConfig {
+  double mean_download_mbps = 20.0;
+  double mean_upload_mbps = 8.0;
+  double bandwidth_sigma = 0.5;  ///< log-normal spread across devices
+  double rtt_s = 0.1;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkConfig config) : config_(config) {}
+
+  /// Time to download `bytes` for a device with slowness jitter from `rng`.
+  double download_time_s(std::uint64_t bytes, util::Rng& rng) const {
+    return transfer_time(bytes, config_.mean_download_mbps, rng);
+  }
+
+  double upload_time_s(std::uint64_t bytes, util::Rng& rng) const {
+    return transfer_time(bytes, config_.mean_upload_mbps, rng);
+  }
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  double transfer_time(std::uint64_t bytes, double mean_mbps,
+                       util::Rng& rng) const {
+    const double mbps = mean_mbps * rng.lognormal(0.0, config_.bandwidth_sigma);
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / (mbps * 1e6) + config_.rtt_s;
+    return seconds;
+  }
+
+  NetworkConfig config_;
+};
+
+}  // namespace papaya::sim

@@ -1,0 +1,61 @@
+#include "sim/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace papaya::sim {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+DevicePopulation::DevicePopulation(const PopulationConfig& config)
+    : config_(config) {
+  if (config.num_devices == 0) {
+    throw std::invalid_argument("DevicePopulation: need at least one device");
+  }
+  if (config.min_examples > config.max_examples) {
+    throw std::invalid_argument("DevicePopulation: bad example range");
+  }
+  util::Rng rng(config.seed ^ 0xd011ceULL);
+  devices_.reserve(config.num_devices);
+  const double rho =
+      std::clamp(config.slowness_example_correlation, -1.0, 1.0);
+  for (std::size_t i = 0; i < config.num_devices; ++i) {
+    DeviceProfile d;
+    d.id = i;
+
+    // Gaussian copula: z_h drives hardware slowness; the example draw mixes
+    // z_h (weight rho) with an independent normal so slow devices tend to
+    // have more data.
+    const double z_h = rng.normal();
+    const double z_e = rho * z_h + std::sqrt(1.0 - rho * rho) * rng.normal();
+
+    d.hardware_factor =
+        std::exp(config.lognormal_mu + config.lognormal_sigma * z_h);
+    const double u = phi(z_e);
+    d.num_examples = config.min_examples +
+                     static_cast<std::size_t>(std::floor(
+                         u * static_cast<double>(config.max_examples -
+                                                 config.min_examples + 1)));
+    d.num_examples = std::min(d.num_examples, config.max_examples);
+
+    d.mean_exec_time_s =
+        d.hardware_factor *
+        (config.base_exec_time_s +
+         config.per_example_time_s * static_cast<double>(d.num_examples));
+    d.dropout_prob = config.dropout_prob;
+    devices_.push_back(std::move(d));
+  }
+}
+
+double DevicePopulation::sample_exec_time(std::size_t i, util::Rng& rng) const {
+  const DeviceProfile& d = devices_.at(i);
+  return d.mean_exec_time_s * rng.lognormal(0.0, config_.jitter_sigma);
+}
+
+}  // namespace papaya::sim

@@ -1,0 +1,177 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace papaya::sim {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    append_field(out, row[i]);
+  }
+  out += '\n';
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  append_row(out, table.header);
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      throw std::invalid_argument("to_csv: ragged row");
+    }
+    append_row(out, row);
+  }
+  return out;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("parse_csv: unterminated quote");
+  if (row_has_content || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) throw std::invalid_argument("parse_csv: empty input");
+
+  CsvTable table;
+  table.header = std::move(rows.front());
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != table.header.size()) {
+      throw std::invalid_argument("parse_csv: ragged row");
+    }
+    table.rows.push_back(std::move(rows[r]));
+  }
+  return table;
+}
+
+CsvTable time_series_table(const TimeSeries& series,
+                           const std::string& value_name) {
+  CsvTable table;
+  table.header = {"time_s", value_name};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    table.rows.push_back({fmt(series.times[i]), fmt(series.values[i])});
+  }
+  return table;
+}
+
+CsvTable participation_table(
+    const std::vector<ParticipationRecord>& records) {
+  CsvTable table;
+  table.header = {"client_id",    "start_time_s", "exec_time_s",
+                  "num_examples", "update_applied", "dropped_out",
+                  "staleness"};
+  for (const ParticipationRecord& r : records) {
+    table.rows.push_back({fmt(static_cast<std::uint64_t>(r.client_id)),
+                          fmt(r.start_time), fmt(r.exec_time_s),
+                          fmt(static_cast<std::uint64_t>(r.num_examples)),
+                          r.update_applied ? "1" : "0",
+                          r.dropped_out ? "1" : "0", fmt(r.staleness)});
+  }
+  return table;
+}
+
+SimulationTraces export_traces(const SimulationResult& result) {
+  SimulationTraces traces;
+  traces.loss_curve = time_series_table(result.loss_curve, "eval_loss");
+  traces.active_clients =
+      time_series_table(result.active_clients, "active_clients");
+  traces.participations = participation_table(result.participations);
+
+  CsvTable summary;
+  summary.header = {"metric", "value"};
+  summary.rows.push_back({"reached_target", result.reached_target ? "1" : "0"});
+  summary.rows.push_back({"time_to_target_s", fmt(result.time_to_target_s)});
+  summary.rows.push_back({"end_time_s", fmt(result.end_time_s)});
+  summary.rows.push_back({"server_steps", fmt(result.server_steps)});
+  summary.rows.push_back({"comm_trips", fmt(result.comm_trips)});
+  summary.rows.push_back(
+      {"participations_started", fmt(result.participations_started)});
+  summary.rows.push_back({"updates_applied",
+                          fmt(result.task_stats.updates_applied)});
+  summary.rows.push_back({"updates_discarded",
+                          fmt(result.task_stats.updates_discarded)});
+  summary.rows.push_back({"final_eval_loss", fmt(result.final_eval_loss)});
+  summary.rows.push_back(
+      {"model_store_stall_s", fmt(result.model_store_stats.stall_s)});
+  traces.summary = std::move(summary);
+  return traces;
+}
+
+}  // namespace papaya::sim

@@ -1,0 +1,56 @@
+#pragma once
+// CSV export of simulation results — the plotting interface of the
+// benchmark harness.
+//
+// Every figure in the paper is a plot over a time series or a participation
+// trace; the bench binaries print the summary rows, and this module writes
+// the underlying series to CSV so the figures themselves can be regenerated
+// with any plotting tool (the role the authors' internal dashboards play).
+// Writers are deliberately strict: they escape fields, emit deterministic
+// formatting, and round-trip through the bundled reader (used by tests).
+
+#include <string>
+#include <vector>
+
+#include "sim/fl_simulator.hpp"
+#include "sim/metrics.hpp"
+
+namespace papaya::sim {
+
+/// A parsed CSV: one header row and uniform-width data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t num_columns() const { return header.size(); }
+  std::size_t num_rows() const { return rows.size(); }
+};
+
+/// Serialize a table (RFC 4180-style quoting: fields containing commas,
+/// quotes, or newlines are quoted, embedded quotes doubled).
+/// Throws std::invalid_argument if any row width differs from the header.
+std::string to_csv(const CsvTable& table);
+
+/// Parse CSV produced by to_csv (quoting rules as above).
+/// Throws std::invalid_argument on malformed input (unterminated quote,
+/// ragged rows).
+CsvTable parse_csv(const std::string& text);
+
+/// "time_s,value" rows for a loss curve or utilization series.
+CsvTable time_series_table(const TimeSeries& series,
+                           const std::string& value_name);
+
+/// One row per participation: the Fig. 11 / Table 1 analysis inputs.
+CsvTable participation_table(const std::vector<ParticipationRecord>& records);
+
+/// The one-stop export for a finished run: loss curve, active-client
+/// series (when recorded), and the headline counters as a key/value table.
+struct SimulationTraces {
+  CsvTable loss_curve;
+  CsvTable active_clients;
+  CsvTable participations;
+  CsvTable summary;
+};
+SimulationTraces export_traces(const SimulationResult& result);
+
+}  // namespace papaya::sim

@@ -1,0 +1,467 @@
+#include "smpc/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::smpc {
+
+namespace {
+
+constexpr const char* kChannelLabel = "smpc-channel-key";
+constexpr const char* kPairwiseLabel = "smpc-pairwise-mask";
+const std::uint8_t kShareAd[] = {'s', 'm', 'p', 'c', '-', 's', 'h', 'a',
+                                 'r', 'e', '-', 'v', '1'};
+
+std::uint64_t share_sequence(std::uint32_t from, std::uint32_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+/// Estimated wire size of one advertisement (id + two group elements).
+std::size_t ad_wire_size(const crypto::DhParams& params) {
+  return 4 + 2 * params.byte_width();
+}
+
+}  // namespace
+
+const crypto::DhParams& SmpcConfig::dh_params() const {
+  return dh != nullptr ? *dh : crypto::DhParams::simulation256();
+}
+
+util::Bytes pairwise_mask_seed(const crypto::DhParams& params,
+                               const crypto::BigUInt& my_private,
+                               const crypto::BigUInt& peer_public) {
+  const crypto::BigUInt shared =
+      crypto::dh_shared_element(params, my_private, peer_public);
+  const crypto::Digest d = crypto::dh_derive_key(params, shared, kPairwiseLabel);
+  return util::Bytes(d.begin(), d.end());
+}
+
+crypto::DhKeyPair mask_keypair_from_seed(const crypto::DhParams& params,
+                                         std::span<const std::uint8_t> seed) {
+  crypto::DhRandom random(seed);
+  return crypto::dh_generate(params, random);
+}
+
+secagg::GroupVec expand_mask(std::span<const std::uint8_t> seed,
+                             std::size_t n) {
+  crypto::MaskPrng prng(seed);
+  return prng.words(n);
+}
+
+// -- SmpcClient ---------------------------------------------------------------
+
+SmpcClient::SmpcClient(const SmpcConfig& config, std::uint32_t id,
+                       std::span<const std::uint8_t> rng_seed)
+    : config_(config), id_(id), rng_(rng_seed) {
+  if (id_ == 0) throw std::invalid_argument("SmpcClient: id must be nonzero");
+  const crypto::DhParams& params = config_.dh_params();
+  mask_key_seed_ = rng_.bytes(16);
+  mask_keypair_ = mask_keypair_from_seed(params, mask_key_seed_);
+  channel_keypair_ = crypto::dh_generate(params, rng_);
+  self_mask_seed_ = rng_.bytes(16);
+}
+
+KeyAdvertisement SmpcClient::advertise_keys() const {
+  return KeyAdvertisement{id_, mask_keypair_.public_key,
+                          channel_keypair_.public_key};
+}
+
+std::vector<EncryptedShare> SmpcClient::share_keys(
+    const std::vector<KeyAdvertisement>& cohort) {
+  const crypto::DhParams& params = config_.dh_params();
+  if (cohort.size() < config_.threshold) {
+    throw std::invalid_argument("share_keys: cohort below threshold");
+  }
+
+  std::vector<std::uint32_t> xs;
+  xs.reserve(cohort.size());
+  bool found_self = false;
+  for (const KeyAdvertisement& ad : cohort) {
+    xs.push_back(ad.client_id);
+    found_self |= ad.client_id == id_;
+  }
+  if (!found_self) {
+    throw std::invalid_argument("share_keys: cohort does not include me");
+  }
+
+  // Shamir-share both 16-byte secrets at the cohort's ids (validates
+  // duplicates/zeros).
+  const RandomBytesFn rand = [this](std::size_t n) { return rng_.bytes(n); };
+  const std::vector<Share> seed_shares =
+      shamir_split_at(mask_key_seed_, xs, config_.threshold, rand);
+  const std::vector<Share> self_shares =
+      shamir_split_at(self_mask_seed_, xs, config_.threshold, rand);
+
+  std::vector<EncryptedShare> out;
+  out.reserve(cohort.size() - 1);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const KeyAdvertisement& peer = cohort[i];
+    if (peer.client_id == id_) {
+      // Keep our own shares of our own secrets; we reveal them in Round 3.
+      PeerState& self = peers_[id_];
+      self.mask_seed_share = seed_shares[i];
+      self.self_mask_share = self_shares[i];
+      continue;
+    }
+    PeerState& ps = peers_[peer.client_id];
+    ps.channel_key = crypto::dh_derive_key(
+        params,
+        crypto::dh_shared_element(params, channel_keypair_.private_key,
+                                  peer.channel_public),
+        kChannelLabel);
+    ps.pairwise_seed = pairwise_mask_seed(params, mask_keypair_.private_key,
+                                          peer.mask_public);
+
+    util::ByteWriter w;
+    w.u32(peer.client_id);
+    w.bytes(seed_shares[i].y.to_bytes());
+    w.bytes(self_shares[i].y.to_bytes());
+    EncryptedShare es;
+    es.from = id_;
+    es.to = peer.client_id;
+    es.box = crypto::seal(ps.channel_key, share_sequence(id_, peer.client_id),
+                          w.data(), kShareAd);
+    out.push_back(std::move(es));
+  }
+  return out;
+}
+
+void SmpcClient::receive_shares(const std::vector<EncryptedShare>& inbox) {
+  for (const EncryptedShare& es : inbox) {
+    if (es.to != id_) {
+      throw std::runtime_error("receive_shares: misrouted share");
+    }
+    auto it = peers_.find(es.from);
+    if (it == peers_.end() || it->first == id_) {
+      throw std::runtime_error("receive_shares: share from unknown peer");
+    }
+    PeerState& ps = it->second;
+    const auto plain = crypto::open(
+        ps.channel_key, share_sequence(es.from, id_), es.box, kShareAd);
+    if (!plain) {
+      // A failed MAC means the server (or the network) tampered with the
+      // share; the protocol requires the client to abort (App. B).
+      throw std::runtime_error("receive_shares: share failed authentication");
+    }
+    util::ByteReader r(*plain);
+    const std::uint32_t x = r.u32();
+    if (x != id_) {
+      throw std::runtime_error("receive_shares: share bound to a different x");
+    }
+    ps.mask_seed_share = Share{id_, crypto::BigUInt::from_bytes(r.bytes())};
+    ps.self_mask_share = Share{id_, crypto::BigUInt::from_bytes(r.bytes())};
+  }
+  shares_received_ = true;
+}
+
+secagg::GroupVec SmpcClient::masked_input(
+    std::span<const std::uint32_t> input) const {
+  if (!shares_received_) {
+    throw std::logic_error("masked_input: ShareKeys round not completed");
+  }
+  if (input.size() != config_.vector_length) {
+    throw std::invalid_argument("masked_input: wrong vector length");
+  }
+
+  secagg::GroupVec out(input.begin(), input.end());
+  // Self mask b_i: removed by the server after reconstructing it from the
+  // survivors' shares.
+  secagg::add_in_place(out, expand_mask(self_mask_seed_, out.size()));
+
+  // Pairwise masks with every peer whose shares we hold (the server-routed
+  // U1): +m_ij for i < j, -m_ij for i > j, so they cancel pairwise in the
+  // survivor sum.
+  for (const auto& [peer_id, ps] : peers_) {
+    if (peer_id == id_ || !ps.mask_seed_share.has_value()) continue;
+    const secagg::GroupVec mask = expand_mask(ps.pairwise_seed, out.size());
+    if (id_ < peer_id) {
+      secagg::add_in_place(out, mask);
+    } else {
+      secagg::sub_in_place(out, mask);
+    }
+  }
+  return out;
+}
+
+UnmaskResponse SmpcClient::unmask(const std::set<std::uint32_t>& survivors,
+                                  const std::set<std::uint32_t>& dropouts) const {
+  for (std::uint32_t id : dropouts) {
+    if (survivors.count(id) != 0) {
+      throw std::invalid_argument(
+          "unmask: a client may not be both survivor and dropout (revealing "
+          "both shares would unmask its individual update)");
+    }
+  }
+  UnmaskResponse resp;
+  resp.from = id_;
+  for (std::uint32_t owner : survivors) {
+    auto it = peers_.find(owner);
+    if (it != peers_.end() && it->second.self_mask_share.has_value()) {
+      resp.self_mask_shares.push_back(
+          RevealedShare{owner, *it->second.self_mask_share});
+    }
+  }
+  for (std::uint32_t owner : dropouts) {
+    auto it = peers_.find(owner);
+    if (it != peers_.end() && it->second.mask_seed_share.has_value()) {
+      resp.mask_seed_shares.push_back(
+          RevealedShare{owner, *it->second.mask_seed_share});
+    }
+  }
+  return resp;
+}
+
+// -- SmpcServer ---------------------------------------------------------------
+
+SmpcServer::SmpcServer(const SmpcConfig& config) : config_(config) {
+  if (config_.vector_length == 0) {
+    throw std::invalid_argument("SmpcServer: vector_length must be positive");
+  }
+  if (config_.threshold == 0) {
+    throw std::invalid_argument("SmpcServer: threshold must be positive");
+  }
+}
+
+void SmpcServer::register_advertisement(const KeyAdvertisement& ad) {
+  if (ad.client_id == 0) {
+    throw std::invalid_argument("register_advertisement: zero client id");
+  }
+  if (!ads_.emplace(ad.client_id, ad).second) {
+    throw std::invalid_argument("register_advertisement: duplicate client id");
+  }
+  traffic_.client_to_server_bytes += ad_wire_size(config_.dh_params());
+  traffic_.messages += 1;
+}
+
+std::vector<KeyAdvertisement> SmpcServer::cohort_broadcast() {
+  std::vector<KeyAdvertisement> cohort;
+  cohort.reserve(ads_.size());
+  for (const auto& [id, ad] : ads_) cohort.push_back(ad);
+  // The full cohort list goes back down to every member.
+  traffic_.server_to_client_bytes +=
+      cohort.size() * cohort.size() * ad_wire_size(config_.dh_params());
+  traffic_.messages += cohort.size();
+  return cohort;
+}
+
+void SmpcServer::submit_shares(std::vector<EncryptedShare> shares) {
+  if (shares.empty()) {
+    throw std::invalid_argument("submit_shares: empty share batch");
+  }
+  const std::uint32_t from = shares.front().from;
+  if (ads_.count(from) == 0) {
+    throw std::invalid_argument("submit_shares: sender never advertised");
+  }
+  for (EncryptedShare& es : shares) {
+    if (es.from != from || es.to == from || ads_.count(es.to) == 0) {
+      throw std::invalid_argument("submit_shares: malformed share batch");
+    }
+    traffic_.client_to_server_bytes += es.wire_size();
+    routed_[es.to].push_back(std::move(es));
+  }
+  traffic_.messages += 1;
+  shared_.insert(from);
+}
+
+std::vector<EncryptedShare> SmpcServer::inbox_for(std::uint32_t id) {
+  std::vector<EncryptedShare> inbox;
+  auto it = routed_.find(id);
+  if (it != routed_.end()) {
+    // Only deliver shares from clients that completed ShareKeys; peers not
+    // in U1 contribute no pairwise mask.
+    for (const EncryptedShare& es : it->second) {
+      if (shared_.count(es.from) != 0) {
+        traffic_.server_to_client_bytes += es.wire_size();
+        inbox.push_back(es);
+      }
+    }
+  }
+  traffic_.messages += 1;
+  return inbox;
+}
+
+void SmpcServer::submit_masked_input(std::uint32_t id,
+                                     secagg::GroupVec input) {
+  if (shared_.count(id) == 0) {
+    throw std::invalid_argument(
+        "submit_masked_input: client never completed ShareKeys");
+  }
+  if (input.size() != config_.vector_length) {
+    throw std::invalid_argument("submit_masked_input: wrong vector length");
+  }
+  traffic_.client_to_server_bytes += 4 * input.size() + 8;
+  traffic_.messages += 1;
+  masked_[id] = std::move(input);
+}
+
+std::set<std::uint32_t> SmpcServer::survivors() const {
+  std::set<std::uint32_t> s;
+  for (const auto& [id, v] : masked_) s.insert(id);
+  return s;
+}
+
+std::set<std::uint32_t> SmpcServer::dropouts() const {
+  std::set<std::uint32_t> d;
+  for (std::uint32_t id : shared_) {
+    if (masked_.count(id) == 0) d.insert(id);
+  }
+  return d;
+}
+
+void SmpcServer::submit_unmask_response(const UnmaskResponse& response) {
+  if (masked_.count(response.from) == 0) {
+    throw std::invalid_argument(
+        "submit_unmask_response: responder is not a survivor");
+  }
+  const std::set<std::uint32_t> alive = survivors();
+  const std::set<std::uint32_t> dead = dropouts();
+  for (const RevealedShare& rs : response.self_mask_shares) {
+    if (alive.count(rs.owner) == 0) {
+      throw std::invalid_argument(
+          "submit_unmask_response: self-mask share for a non-survivor");
+    }
+  }
+  for (const RevealedShare& rs : response.mask_seed_shares) {
+    if (dead.count(rs.owner) == 0) {
+      // Accepting a mask-seed share for a survivor would let the server
+      // remove that survivor's pairwise masks and expose its input.
+      throw std::invalid_argument(
+          "submit_unmask_response: mask-seed share for a survivor");
+    }
+  }
+  const std::size_t revealed =
+      response.self_mask_shares.size() + response.mask_seed_shares.size();
+  traffic_.client_to_server_bytes += 8 + revealed * (8 + 17);
+  traffic_.messages += 1;
+  responses_.push_back(response);
+}
+
+secagg::GroupVec SmpcServer::aggregate() const {
+  const std::set<std::uint32_t> alive = survivors();
+  if (alive.size() < config_.threshold) {
+    throw std::runtime_error(
+        "aggregate: fewer than t survivors; must not release (Fig. 15)");
+  }
+  if (responses_.size() < config_.threshold) {
+    throw std::runtime_error("aggregate: fewer than t unmask responses");
+  }
+
+  secagg::GroupVec sum(config_.vector_length, 0);
+  for (const auto& [id, v] : masked_) secagg::add_in_place(sum, v);
+
+  // Collect revealed shares per owner.
+  std::map<std::uint32_t, std::vector<Share>> self_shares;
+  std::map<std::uint32_t, std::vector<Share>> seed_shares;
+  for (const UnmaskResponse& r : responses_) {
+    for (const RevealedShare& rs : r.self_mask_shares) {
+      self_shares[rs.owner].push_back(rs.share);
+    }
+    for (const RevealedShare& rs : r.mask_seed_shares) {
+      seed_shares[rs.owner].push_back(rs.share);
+    }
+  }
+
+  // Remove every survivor's self mask b_j.
+  for (std::uint32_t j : alive) {
+    auto it = self_shares.find(j);
+    if (it == self_shares.end() || it->second.size() < config_.threshold) {
+      throw std::runtime_error(
+          "aggregate: insufficient self-mask shares for a survivor");
+    }
+    const util::Bytes b = shamir_reconstruct(it->second, config_.threshold);
+    secagg::sub_in_place(sum, expand_mask(b, sum.size()));
+  }
+
+  // Remove dropouts' pairwise masks: reconstruct the dropout's DH key seed,
+  // rebuild its keypair, and recompute its mask with every survivor.
+  const crypto::DhParams& params = config_.dh_params();
+  for (std::uint32_t j : dropouts()) {
+    auto it = seed_shares.find(j);
+    if (it == seed_shares.end() || it->second.size() < config_.threshold) {
+      throw std::runtime_error(
+          "aggregate: insufficient mask-seed shares for a dropout");
+    }
+    const util::Bytes seed = shamir_reconstruct(it->second, config_.threshold);
+    const crypto::DhKeyPair kp = mask_keypair_from_seed(params, seed);
+    for (std::uint32_t k : alive) {
+      const util::Bytes pm =
+          pairwise_mask_seed(params, kp.private_key, ads_.at(k).mask_public);
+      const secagg::GroupVec mask = expand_mask(pm, sum.size());
+      // Survivor k applied sign(k, j) = +1 if k < j else -1; undo it.
+      if (k < j) {
+        secagg::sub_in_place(sum, mask);
+      } else {
+        secagg::add_in_place(sum, mask);
+      }
+    }
+  }
+  return sum;
+}
+
+// -- Whole-round driver -------------------------------------------------------
+
+SmpcRoundResult run_smpc_round(const SmpcConfig& config,
+                               const std::vector<secagg::GroupVec>& inputs,
+                               const DropoutSchedule& dropouts,
+                               std::uint64_t seed) {
+  const std::size_t n = inputs.size();
+  SmpcServer server(config);
+
+  std::vector<SmpcClient> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t id = static_cast<std::uint32_t>(i + 1);
+    util::ByteWriter w;
+    w.u64(seed);
+    w.u64(id);
+    clients.emplace_back(config, id, w.data());
+  }
+
+  // Round 0: everyone advertises.
+  for (const SmpcClient& c : clients) {
+    server.register_advertisement(c.advertise_keys());
+  }
+  const std::vector<KeyAdvertisement> cohort = server.cohort_broadcast();
+
+  // Round 1: ShareKeys (minus early dropouts), then routed delivery.
+  for (SmpcClient& c : clients) {
+    if (dropouts.before_share_keys.count(c.id()) != 0) continue;
+    server.submit_shares(c.share_keys(cohort));
+  }
+  for (SmpcClient& c : clients) {
+    if (dropouts.before_share_keys.count(c.id()) != 0) continue;
+    c.receive_shares(server.inbox_for(c.id()));
+  }
+
+  // Round 2: MaskedInput.
+  for (std::size_t i = 0; i < n; ++i) {
+    SmpcClient& c = clients[i];
+    if (dropouts.before_share_keys.count(c.id()) != 0 ||
+        dropouts.before_masked_input.count(c.id()) != 0) {
+      continue;
+    }
+    server.submit_masked_input(c.id(), c.masked_input(inputs[i]));
+  }
+
+  // Round 3: Unmasking.
+  const std::set<std::uint32_t> alive = server.survivors();
+  const std::set<std::uint32_t> dead = server.dropouts();
+  for (SmpcClient& c : clients) {
+    if (alive.count(c.id()) == 0 ||
+        dropouts.before_unmasking.count(c.id()) != 0) {
+      continue;
+    }
+    server.submit_unmask_response(c.unmask(alive, dead));
+  }
+
+  SmpcRoundResult result;
+  result.aggregate = server.aggregate();
+  result.included = alive;
+  result.traffic = server.traffic();
+  return result;
+}
+
+}  // namespace papaya::smpc

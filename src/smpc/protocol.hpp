@@ -1,0 +1,238 @@
+#pragma once
+// SMPC-based Secure Aggregation (Bonawitz et al. 2016) — the synchronous
+// baseline PAPAYA's Sec. 5 argues is incompatible with asynchronous training.
+//
+// The protocol runs in four synchronous legs over one cohort:
+//   Round 0  AdvertiseKeys   — every client publishes two DH public keys:
+//                              one for pairwise masks, one for the
+//                              client-to-client encrypted channel.
+//   Round 1  ShareKeys       — every client Shamir-shares (a) the 16-byte
+//                              seed its pairwise-mask DH key is derived from
+//                              and (b) a fresh 16-byte self-mask seed, and
+//                              sends each peer its share, encrypted under the
+//                              pairwise channel key.  The server routes the
+//                              ciphertexts (it cannot read them).
+//   Round 2  MaskedInput     — every client submits
+//                                y_i = x_i + PRG(b_i)
+//                                    + sum_{j in U1, j>i} PRG(s_ij)
+//                                    - sum_{j in U1, j<i} PRG(s_ij)
+//                              where U1 is the set that completed ShareKeys.
+//   Round 3  Unmasking       — the server announces who survived (U2) and
+//                              who dropped (U1 \ U2).  Each responder reveals
+//                              self-mask shares for survivors and mask-seed
+//                              shares for dropouts — never both for the same
+//                              peer.  With >= t responses the server
+//                              reconstructs the missing masks and outputs
+//                              sum_{i in U2} x_i.
+//
+// Everything that makes this protocol a poor fit for AsyncFL is visible in
+// the types below: cohort formation (Round 0 blocks on everyone), O(n^2)
+// share ciphertexts, and four synchronous legs per aggregate.  The
+// bench_ablation_secagg_compare binary quantifies this against the paper's
+// Asynchronous SecAgg.
+//
+// Threat model matches App. B: honest-but-curious server, up to n - t
+// dropouts; no consistency-check round (that round hardens against an
+// actively malicious server and is orthogonal here).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "crypto/auth_enc.hpp"
+#include "crypto/dh.hpp"
+#include "secagg/group.hpp"
+#include "smpc/shamir.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::smpc {
+
+struct SmpcConfig {
+  std::size_t vector_length = 0;  ///< l: elements of Z_{2^32} per input
+  std::size_t threshold = 0;      ///< t: minimum survivors for release
+  const crypto::DhParams* dh = nullptr;  ///< defaults to simulation256()
+
+  const crypto::DhParams& dh_params() const;
+};
+
+/// Round 0: one client's public keys.
+struct KeyAdvertisement {
+  std::uint32_t client_id = 0;      ///< 1-based; doubles as the Shamir x
+  crypto::BigUInt mask_public;      ///< s_i^PK: pairwise masks
+  crypto::BigUInt channel_public;   ///< c_i^PK: share encryption
+};
+
+/// Round 1: an encrypted Shamir-share bundle addressed to one peer.
+struct EncryptedShare {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  crypto::SealedBox box;  ///< {mask-seed share, self-mask share} under K_ij
+
+  std::size_t wire_size() const { return box.ciphertext.size() + 8; }
+};
+
+/// A share of `owner`'s secret revealed to the server in Round 3.  The
+/// share's x-coordinate is the *revealing* client's id.
+struct RevealedShare {
+  std::uint32_t owner = 0;
+  Share share;
+};
+
+/// Round 3: one client's unmasking contribution.
+struct UnmaskResponse {
+  std::uint32_t from = 0;
+  std::vector<RevealedShare> self_mask_shares;  ///< owners are survivors
+  std::vector<RevealedShare> mask_seed_shares;  ///< owners are dropouts
+};
+
+/// Client-side state machine.  Construction is deterministic in `rng_seed`
+/// so tests and the simulator replay exactly.
+class SmpcClient {
+ public:
+  SmpcClient(const SmpcConfig& config, std::uint32_t id,
+             std::span<const std::uint8_t> rng_seed);
+
+  std::uint32_t id() const { return id_; }
+
+  /// Round 0.
+  KeyAdvertisement advertise_keys() const;
+
+  /// Round 1: given the cohort's advertisements (must include this client),
+  /// produce one encrypted share bundle per peer.
+  /// Throws std::invalid_argument on duplicate or missing ids.
+  std::vector<EncryptedShare> share_keys(
+      const std::vector<KeyAdvertisement>& cohort);
+
+  /// Round 1 delivery: shares addressed to this client, routed by the
+  /// server.  Throws std::runtime_error if any ciphertext fails
+  /// authentication (a tampering server must be detected, App. B).
+  void receive_shares(const std::vector<EncryptedShare>& inbox);
+
+  /// Round 2: mask this client's input.  Pairwise masks cover exactly the
+  /// peers whose shares were received (= the server-announced U1).
+  secagg::GroupVec masked_input(std::span<const std::uint32_t> input) const;
+
+  /// Round 3: reveal self-mask shares for `survivors` and mask-seed shares
+  /// for `dropouts`.  Enforces the protocol's core privacy rule: throws
+  /// std::invalid_argument if the two sets intersect (revealing both shares
+  /// of one peer would unmask that peer's individual update).
+  UnmaskResponse unmask(const std::set<std::uint32_t>& survivors,
+                        const std::set<std::uint32_t>& dropouts) const;
+
+ private:
+  struct PeerState {
+    crypto::Digest channel_key{};   ///< K_ij for share transport
+    util::Bytes pairwise_seed;      ///< PRG seed for the pairwise mask
+    std::optional<Share> mask_seed_share;  ///< peer's DH-seed share we hold
+    std::optional<Share> self_mask_share;  ///< peer's self-mask share we hold
+  };
+
+  SmpcConfig config_;
+  std::uint32_t id_ = 0;
+  mutable crypto::DhRandom rng_;
+
+  util::Bytes mask_key_seed_;      ///< 16 bytes; derives mask_keypair_
+  crypto::DhKeyPair mask_keypair_;
+  crypto::DhKeyPair channel_keypair_;
+  util::Bytes self_mask_seed_;     ///< b_i, 16 bytes
+
+  std::map<std::uint32_t, PeerState> peers_;
+  bool shares_received_ = false;
+};
+
+/// Traffic accounting for the scalability comparison (Sec. 5 / Fig. 6).
+struct SmpcTraffic {
+  std::uint64_t client_to_server_bytes = 0;
+  std::uint64_t server_to_client_bytes = 0;
+  std::uint64_t messages = 0;
+  static constexpr int kSynchronousLegs = 4;
+};
+
+/// Server-side orchestration for one aggregation round.
+class SmpcServer {
+ public:
+  explicit SmpcServer(const SmpcConfig& config);
+
+  // -- Round 0 --------------------------------------------------------------
+  void register_advertisement(const KeyAdvertisement& ad);
+  /// The cohort broadcast (also counts broadcast traffic per recipient).
+  std::vector<KeyAdvertisement> cohort_broadcast();
+
+  // -- Round 1 --------------------------------------------------------------
+  /// A client submits its n-1 encrypted shares.  Marks the client in U1.
+  void submit_shares(std::vector<EncryptedShare> shares);
+  /// Shares addressed to `id` from clients in U1.
+  std::vector<EncryptedShare> inbox_for(std::uint32_t id);
+
+  // -- Round 2 --------------------------------------------------------------
+  /// Throws std::invalid_argument if `id` never completed ShareKeys or the
+  /// vector length is wrong.
+  void submit_masked_input(std::uint32_t id, secagg::GroupVec input);
+
+  /// U2: completed MaskedInput.  Dropouts: U1 \ U2.
+  std::set<std::uint32_t> survivors() const;
+  std::set<std::uint32_t> dropouts() const;
+
+  // -- Round 3 --------------------------------------------------------------
+  void submit_unmask_response(const UnmaskResponse& response);
+
+  /// Reconstruct masks and release sum_{i in U2} x_i.
+  /// Throws std::runtime_error if fewer than `threshold` clients responded
+  /// or fewer than `threshold` survivors exist (the protocol must never
+  /// release an aggregate of fewer than t inputs, Fig. 15 step 4).
+  secagg::GroupVec aggregate() const;
+
+  const SmpcTraffic& traffic() const { return traffic_; }
+
+ private:
+  SmpcConfig config_;
+  std::map<std::uint32_t, KeyAdvertisement> ads_;
+  std::set<std::uint32_t> shared_;  ///< U1
+  std::map<std::uint32_t, std::vector<EncryptedShare>> routed_;  ///< by `to`
+  std::map<std::uint32_t, secagg::GroupVec> masked_;             ///< U2
+  std::vector<UnmaskResponse> responses_;
+  SmpcTraffic traffic_;
+};
+
+/// Derive the deterministic pairwise-mask PRG seed both endpoints (and the
+/// server, after reconstructing a dropout's key seed) compute from the DH
+/// shared element.
+util::Bytes pairwise_mask_seed(const crypto::DhParams& params,
+                               const crypto::BigUInt& my_private,
+                               const crypto::BigUInt& peer_public);
+
+/// Rebuild the deterministic mask keypair from its 16-byte seed (what
+/// Round 1 shares protect; the server does this for dropouts).
+crypto::DhKeyPair mask_keypair_from_seed(const crypto::DhParams& params,
+                                         std::span<const std::uint8_t> seed);
+
+/// Expand a self-mask or pairwise seed into `n` words of Z_{2^32} mask.
+secagg::GroupVec expand_mask(std::span<const std::uint8_t> seed,
+                             std::size_t n);
+
+// -- Whole-round driver (tests, benches, examples) ---------------------------
+
+/// Which clients drop at which point of the round.
+struct DropoutSchedule {
+  std::set<std::uint32_t> before_share_keys;    ///< advertised, never shared
+  std::set<std::uint32_t> before_masked_input;  ///< shared, never uploaded
+  std::set<std::uint32_t> before_unmasking;     ///< uploaded, never revealed
+};
+
+struct SmpcRoundResult {
+  secagg::GroupVec aggregate;
+  std::set<std::uint32_t> included;  ///< U2: inputs present in the aggregate
+  SmpcTraffic traffic;
+};
+
+/// Run one full synchronous round over `inputs` (client i = 1-based index
+/// i+1) with the given dropout schedule.  Deterministic in `seed`.
+SmpcRoundResult run_smpc_round(const SmpcConfig& config,
+                               const std::vector<secagg::GroupVec>& inputs,
+                               const DropoutSchedule& dropouts = {},
+                               std::uint64_t seed = 0);
+
+}  // namespace papaya::smpc

@@ -1,0 +1,130 @@
+#include "smpc/shamir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace papaya::smpc {
+
+namespace {
+
+using crypto::BigUInt;
+
+/// a - b mod p for a, b already reduced.
+BigUInt submod(const BigUInt& a, const BigUInt& b, const BigUInt& p) {
+  if (a >= b) return a - b;
+  return a + p - b;
+}
+
+/// Modular inverse via Fermat's little theorem (p prime).
+BigUInt invmod(const BigUInt& a, const BigUInt& p) {
+  if (a.is_zero()) throw std::invalid_argument("shamir: inverse of zero");
+  return a.powmod(p - BigUInt(2), p);
+}
+
+}  // namespace
+
+const crypto::BigUInt& shamir_field_prime() {
+  // 2^130 - 5 (the Poly1305 prime).
+  static const BigUInt p =
+      BigUInt::from_hex("3fffffffffffffffffffffffffffffffb");
+  return p;
+}
+
+std::vector<Share> shamir_split(std::span<const std::uint8_t> secret,
+                                std::size_t n, std::size_t threshold,
+                                const RandomBytesFn& random_bytes) {
+  std::vector<std::uint32_t> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<std::uint32_t>(i + 1);
+  return shamir_split_at(secret, xs, threshold, random_bytes);
+}
+
+std::vector<Share> shamir_split_at(std::span<const std::uint8_t> secret,
+                                   std::span<const std::uint32_t> xs,
+                                   std::size_t threshold,
+                                   const RandomBytesFn& random_bytes) {
+  const BigUInt& p = shamir_field_prime();
+  if (threshold == 0 || threshold > xs.size()) {
+    throw std::invalid_argument("shamir_split: need 0 < threshold <= n");
+  }
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t x : xs) {
+    if (x == 0 || !seen.insert(x).second) {
+      throw std::invalid_argument("shamir_split: duplicate or zero x");
+    }
+  }
+  BigUInt a0 = BigUInt::from_bytes(secret);
+  if (a0 >= p) {
+    throw std::invalid_argument("shamir_split: secret wider than the field");
+  }
+
+  // f(x) = a0 + a1 x + ... + a_{t-1} x^{t-1}, coefficients uniform in [0, p).
+  std::vector<BigUInt> coeffs;
+  coeffs.reserve(threshold);
+  coeffs.push_back(std::move(a0));
+  for (std::size_t i = 1; i < threshold; ++i) {
+    coeffs.push_back(BigUInt::random_below(p, random_bytes));
+  }
+
+  std::vector<Share> shares;
+  shares.reserve(xs.size());
+  for (std::uint32_t xi : xs) {
+    const BigUInt x(static_cast<std::uint64_t>(xi));
+    // Horner: y = (...(a_{t-1} x + a_{t-2}) x + ...) x + a0, all mod p.
+    BigUInt y = coeffs.back();
+    for (std::size_t k = coeffs.size(); k-- > 1;) {
+      y = y.mulmod(x, p);
+      y = (y + coeffs[k - 1]) % p;
+    }
+    shares.push_back(Share{xi, std::move(y)});
+  }
+  return shares;
+}
+
+util::Bytes shamir_reconstruct(std::span<const Share> shares,
+                               std::size_t threshold,
+                               std::size_t secret_size) {
+  const BigUInt& p = shamir_field_prime();
+  if (shares.size() < threshold || threshold == 0) {
+    throw std::invalid_argument("shamir_reconstruct: not enough shares");
+  }
+
+  // Use exactly `threshold` shares; interpolation degree must match split.
+  std::vector<Share> pts(shares.begin(), shares.begin() + threshold);
+  std::set<std::uint32_t> xs;
+  for (const Share& s : pts) {
+    if (s.x == 0 || !xs.insert(s.x).second) {
+      throw std::invalid_argument(
+          "shamir_reconstruct: duplicate or zero x-coordinate");
+    }
+    if (s.y >= p) {
+      throw std::invalid_argument("shamir_reconstruct: share outside field");
+    }
+  }
+
+  // Lagrange interpolation at x = 0:
+  //   f(0) = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)  (mod p)
+  BigUInt secret(0);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const BigUInt xi(static_cast<std::uint64_t>(pts[i].x));
+    BigUInt num(1), den(1);
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      const BigUInt xj(static_cast<std::uint64_t>(pts[j].x));
+      num = num.mulmod(xj, p);
+      den = den.mulmod(submod(xj, xi, p), p);
+    }
+    const BigUInt li = num.mulmod(invmod(den, p), p);
+    secret = (secret + pts[i].y.mulmod(li, p)) % p;
+  }
+
+  util::Bytes out = secret.to_bytes(secret_size);
+  // to_bytes truncates silently on overflow; detect inconsistent shares.
+  if (BigUInt::from_bytes(out) != secret) {
+    throw std::invalid_argument(
+        "shamir_reconstruct: value does not fit the secret width "
+        "(inconsistent shares?)");
+  }
+  return out;
+}
+
+}  // namespace papaya::smpc

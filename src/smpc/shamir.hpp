@@ -1,0 +1,61 @@
+#pragma once
+// Shamir secret sharing over the prime field Z_{2^130 - 5}.
+//
+// Substrate for the SMPC-based Secure Aggregation baseline (Bonawitz et al.
+// 2016), the synchronous protocol PAPAYA's Sec. 5 contrasts with Asynchronous
+// SecAgg.  The shared secrets are 16-byte seeds (a client's self-mask seed
+// and the seed its pairwise-mask DH key is derived from), so a field just
+// above 2^128 suffices; 2^130 - 5 is a well-known prime (Poly1305).
+//
+// A share is the polynomial evaluated at the *holder's* client id, so a
+// holder's x-coordinate is the same across every secret it holds a share of.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "crypto/bigint.hpp"
+#include "util/bytes.hpp"
+
+namespace papaya::smpc {
+
+/// One share: y = f(x) for the owner's secret polynomial f.
+struct Share {
+  std::uint32_t x = 0;  ///< holder's client id (never 0; f(0) is the secret)
+  crypto::BigUInt y;
+};
+
+/// The field prime 2^130 - 5.
+const crypto::BigUInt& shamir_field_prime();
+
+/// Source of fresh random bytes for polynomial coefficients.
+using RandomBytesFn = std::function<util::Bytes(std::size_t)>;
+
+/// Split `secret` (at most 16 bytes, interpreted as a big-endian integer)
+/// into `n` shares such that any `threshold` of them reconstruct it and any
+/// threshold-1 reveal nothing.  Shares are issued at x = 1..n.
+/// Throws std::invalid_argument on threshold == 0, threshold > n, or a
+/// secret wider than the field.
+std::vector<Share> shamir_split(std::span<const std::uint8_t> secret,
+                                std::size_t n, std::size_t threshold,
+                                const RandomBytesFn& random_bytes);
+
+/// As shamir_split, but issue shares at caller-chosen x-coordinates (the
+/// SMPC protocol uses client ids, which need not be contiguous).  Throws
+/// std::invalid_argument on zero or duplicate coordinates.
+std::vector<Share> shamir_split_at(std::span<const std::uint8_t> secret,
+                                   std::span<const std::uint32_t> xs,
+                                   std::size_t threshold,
+                                   const RandomBytesFn& random_bytes);
+
+/// Reconstruct the secret from at least `threshold` distinct shares by
+/// Lagrange interpolation at 0.  Returns `secret_size` big-endian bytes.
+/// Throws std::invalid_argument on too few shares, duplicate or zero
+/// x-coordinates, or if the reconstructed value does not fit `secret_size`
+/// bytes (which signals inconsistent shares).
+util::Bytes shamir_reconstruct(std::span<const Share> shares,
+                               std::size_t threshold,
+                               std::size_t secret_size = 16);
+
+}  // namespace papaya::smpc

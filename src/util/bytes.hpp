@@ -1,0 +1,151 @@
+#pragma once
+// Byte-buffer serialization used by the FL wire protocol and SecAgg.
+//
+// Little-endian, length-prefixed, append-only writer + bounds-checked reader.
+// Deliberately tiny: the protocol only needs integers, doubles, raw byte
+// strings, and float vectors (serialized model updates).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace papaya::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only little-endian writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u32(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void bytes(std::span<const std::uint8_t> b) {
+    u64(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void str(const std::string& s) {
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  /// Length-prefixed float vector.
+  void floats(std::span<const float> v) {
+    u64(v.size());
+    for (float x : v) f32(x);
+  }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian reader.  Throws std::out_of_range on
+/// truncated input (malformed messages must not crash the server).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t n = u64();
+    const auto b = take(n);
+    return Bytes(b.begin(), b.end());
+  }
+
+  std::string str() {
+    const Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  std::vector<float> floats() {
+    const std::uint64_t n = u64();
+    std::vector<float> v(n);
+    for (auto& x : v) x = f32();
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> take(std::uint64_t n) {
+    if (n > remaining()) {
+      throw std::out_of_range("ByteReader: truncated message");
+    }
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Constant-time byte-equality (for MAC comparison).
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+/// Hex encoding, for logs and attestation digests.
+std::string to_hex(std::span<const std::uint8_t> b);
+
+}  // namespace papaya::util

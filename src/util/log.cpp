@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <vector>
+
+namespace papaya::util {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < level_) return;
+  if (sink_) {
+    sink_(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  }
+}
+
+CapturingLogSink::CapturingLogSink(LogLevel capture_level)
+    : previous_level_(Logger::instance().level()) {
+  Logger::instance().set_level(capture_level);
+  Logger::instance().set_sink([this](LogLevel level, const std::string& msg) {
+    records_.push_back(Record{level, msg});
+  });
+}
+
+CapturingLogSink::~CapturingLogSink() {
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(previous_level_);
+}
+
+bool CapturingLogSink::contains(const std::string& needle) const {
+  for (const Record& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace papaya::util

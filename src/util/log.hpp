@@ -1,0 +1,95 @@
+#pragma once
+// Minimal leveled logging with injectable sinks.
+//
+// Server components log placement decisions, failovers, and protocol aborts;
+// tests install a capturing sink to assert on them, and the default sink
+// writes to stderr.  Deliberately tiny: no formatting library, no global
+// configuration file — a level threshold and a sink callback.
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace papaya::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+const char* to_string(LogLevel level);
+
+/// A log sink receives fully formatted records.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Process-wide logger.  Thread-safe: the sink is invoked under a mutex, so
+/// sinks need no internal synchronization.
+class Logger {
+ public:
+  static Logger& instance();
+
+  /// Records below this level are dropped (default kWarning, so library
+  /// code is silent in tests and benches unless something is wrong).
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replace the sink (pass nullptr to restore the stderr default).
+  void set_sink(LogSink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarning;
+  LogSink sink_;
+};
+
+/// Stream-style one-shot record: `LogMessage(LogLevel::kInfo) << "x=" << x;`
+/// submits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// RAII sink capture for tests: installs a recording sink (and optionally a
+/// lower threshold) on construction, restores the previous behaviour on
+/// destruction.
+class CapturingLogSink {
+ public:
+  explicit CapturingLogSink(LogLevel capture_level = LogLevel::kDebug);
+  ~CapturingLogSink();
+
+  CapturingLogSink(const CapturingLogSink&) = delete;
+  CapturingLogSink& operator=(const CapturingLogSink&) = delete;
+
+  struct Record {
+    LogLevel level;
+    std::string message;
+  };
+  const std::vector<Record>& records() const { return records_; }
+  bool contains(const std::string& needle) const;
+
+ private:
+  std::vector<Record> records_;
+  LogLevel previous_level_;
+};
+
+}  // namespace papaya::util
+
+#define PAPAYA_LOG(level) ::papaya::util::LogMessage(level)

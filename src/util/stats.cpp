@@ -1,0 +1,214 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace papaya::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("pearson: need equal-length samples, n >= 2");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Survival function of the Kolmogorov distribution.
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double xa = sa[ia];
+    const double xb = sb[ib];
+    const double x = std::min(xa, xb);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  return {d, kolmogorov_q(lambda)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+namespace {
+
+std::string bars(const std::vector<std::uint64_t>& counts,
+                 const std::vector<std::string>& labels, std::size_t width) {
+  std::uint64_t peak = 1;
+  for (auto c : counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto n =
+        static_cast<std::size_t>(static_cast<double>(counts[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    os << labels[i] << " | " << std::string(n, '#') << " " << counts[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string label(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os.width(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::vector<std::string> labels;
+  labels.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    labels.push_back(label(bin_center(i)));
+  }
+  return bars(counts_, labels, width);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : log_lo_(std::log10(lo)), log_hi_(std::log10(hi)), counts_(bins, 0) {
+  if (!(lo > 0.0) || !(lo < hi) || bins == 0) {
+    throw std::invalid_argument("LogHistogram: invalid range or bin count");
+  }
+}
+
+void LogHistogram::add(double x) {
+  const double lx = std::log10(std::max(x, 1e-300));
+  const double t = (lx - log_lo_) / (log_hi_ - log_lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+double LogHistogram::bin_center(std::size_t i) const {
+  const double w = (log_hi_ - log_lo_) / static_cast<double>(counts_.size());
+  return std::pow(10.0, log_lo_ + (static_cast<double>(i) + 0.5) * w);
+}
+
+std::string LogHistogram::ascii(std::size_t width) const {
+  std::vector<std::string> labels;
+  labels.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    labels.push_back(label(bin_center(i)));
+  }
+  return bars(counts_, labels, width);
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace papaya::util

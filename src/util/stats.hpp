@@ -1,0 +1,98 @@
+#pragma once
+// Descriptive statistics and hypothesis tests used by the evaluation.
+//
+// The paper's fairness analysis (Sec. 7.4) relies on a two-sample
+// Kolmogorov–Smirnov test to compare the distribution of participating
+// clients under different selection regimes; that test lives here, together
+// with percentiles, histograms, and Pearson correlation.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace papaya::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; 0 if fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].  Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of paired samples.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+struct KsResult {
+  double d_statistic = 0.0;  ///< max |F1(x) - F2(x)|
+  double p_value = 1.0;      ///< asymptotic two-sided p-value
+};
+
+/// Two-sample KS test (Chakravarti, Laha & Roy 1967, as cited by the paper).
+/// The asymptotic p-value uses the Kolmogorov distribution
+/// Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin.  `normalized()` returns densities that sum to 1.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  /// Center of bin i.
+  double bin_center(std::size_t i) const;
+  std::vector<double> normalized() const;
+
+  /// Render a fixed-width ASCII bar chart (for bench output).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram (for the Fig. 2 execution-time plot, whose x-axis is
+/// logarithmic).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_center(std::size_t i) const;
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double log_lo_, log_hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Streaming mean/min/max/count accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace papaya::util

@@ -1,0 +1,326 @@
+// Tests for the replicated Coordinator with leader election and the App.
+// E.4 recovery period: leader failure pauses assignments but not
+// participating clients, elections are deterministic and term-fenced, the
+// new leader rebuilds routing from aggregator state, and Selectors keep
+// serving their last cached map while leaderless.
+
+#include <gtest/gtest.h>
+
+#include "fl/aggregator.hpp"
+#include "fl/election.hpp"
+#include "fl/model_update.hpp"
+#include "fl/selector.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+namespace {
+
+TaskConfig tiny_task(const std::string& name = "t") {
+  TaskConfig cfg;
+  cfg.name = name;
+  cfg.mode = TrainingMode::kAsync;
+  cfg.concurrency = 4;
+  cfg.aggregation_goal = 2;
+  cfg.model_size = 2;
+  return cfg;
+}
+
+util::Bytes update(std::uint64_t client, std::uint64_t version) {
+  ModelUpdate u;
+  u.client_id = client;
+  u.initial_version = version;
+  u.num_examples = 1;
+  u.delta = {0.1f, 0.1f};
+  return u.serialize();
+}
+
+CoordinatorGroup::Options fast_options() {
+  CoordinatorGroup::Options o;
+  o.election_timeout_s = 5.0;
+  o.recovery_period_s = 30.0;
+  return o;
+}
+
+struct GroupFixture {
+  Aggregator a{"agg-a"}, b{"agg-b"};
+  CoordinatorGroup group{{"c1", "c2", "c3"}, fast_options()};
+  std::string owner_id;
+
+  GroupFixture() {
+    group.register_aggregator(a, 0.0);
+    group.register_aggregator(b, 0.0);
+    group.submit_task(tiny_task(), std::vector<float>(2, 0.0f), {}, 0.0);
+    // Captured at submit time: the map is unavailable while leaderless.
+    owner_id = group.assignment_map()->task_to_aggregator.at("t");
+  }
+
+  Aggregator& owner() { return owner_id == "agg-a" ? a : b; }
+};
+
+TEST(Election, BootstrapElectsLowestIdImmediately) {
+  CoordinatorGroup group({"c2", "c1", "c3"});
+  EXPECT_TRUE(group.has_leader());
+  EXPECT_EQ(group.leader_id(), "c1");
+  EXPECT_EQ(group.term(), 1u);
+  EXPECT_TRUE(group.accepting_assignments(0.0));
+}
+
+TEST(Election, EmptyReplicaSetRejected) {
+  EXPECT_THROW(CoordinatorGroup({}), std::invalid_argument);
+}
+
+TEST(Election, LeaderFailurePausesAssignmentsOnly) {
+  GroupFixture f;
+  ASSERT_TRUE(f.group.assign_client({}, 1.0).has_value());
+
+  f.group.fail_leader(10.0);
+  EXPECT_FALSE(f.group.has_leader());
+  // No new clients are assigned while leaderless (App. E.4)...
+  EXPECT_FALSE(f.group.assign_client({}, 11.0).has_value());
+  // ...but participating clients are not affected: the Aggregator keeps
+  // serving joins and reports using its last known assignment.
+  ASSERT_TRUE(f.owner().client_join("t", 42, 11.0).accepted);
+  const auto result = f.owner().client_report("t", update(42, 0), 12.0);
+  EXPECT_EQ(result.outcome, ReportOutcome::kAccepted);
+}
+
+TEST(Election, NoElectionBeforeTimeout) {
+  GroupFixture f;
+  f.group.fail_leader(10.0);
+  EXPECT_FALSE(f.group.tick(12.0));  // 2s < 5s timeout
+  EXPECT_FALSE(f.group.has_leader());
+}
+
+TEST(Election, NextLowestLiveReplicaWinsAndTermIncrements) {
+  GroupFixture f;
+  EXPECT_EQ(f.group.leader_id(), "c1");
+  EXPECT_EQ(f.group.term(), 1u);
+  f.group.fail_leader(10.0);
+  EXPECT_TRUE(f.group.tick(16.0));
+  EXPECT_EQ(f.group.leader_id(), "c2");
+  EXPECT_EQ(f.group.term(), 2u);
+}
+
+TEST(Election, RecoveryPeriodHoldsAssignments) {
+  GroupFixture f;
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  // In recovery until 46.0.
+  EXPECT_TRUE(f.group.in_recovery(20.0));
+  EXPECT_FALSE(f.group.assign_client({}, 20.0).has_value());
+  EXPECT_THROW(f.group.submit_task(tiny_task("t2"), std::vector<float>(2, 0.0f),
+                                   {}, 20.0),
+               std::runtime_error);
+  // After the recovery period and a demand report, assignments resume.
+  EXPECT_FALSE(f.group.in_recovery(47.0));
+  f.group.aggregator_report(f.owner().id(), f.owner().next_report_sequence(),
+                            47.0, {TaskReport{"t", 4, 0}});
+  EXPECT_TRUE(f.group.assign_client({}, 48.0).has_value());
+}
+
+TEST(Election, NewLeaderRebuildsRoutingFromAggregators) {
+  GroupFixture f;
+  const auto before = f.group.assignment_map()->task_to_aggregator;
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  // The rebuilt map routes every task to the aggregator actually running it.
+  EXPECT_EQ(f.group.assignment_map()->task_to_aggregator, before);
+}
+
+TEST(Election, DemandIsZeroUntilReportsArrive) {
+  GroupFixture f;
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  // Past recovery, but the adopted task has no reported demand yet.
+  EXPECT_FALSE(f.group.assign_client({}, 50.0).has_value());
+  f.group.aggregator_report(f.owner().id(), f.owner().next_report_sequence(),
+                            50.0, {TaskReport{"t", 2, 0}});
+  EXPECT_TRUE(f.group.assign_client({}, 51.0).has_value());
+}
+
+TEST(Election, RevivedOldLeaderDoesNotReclaim) {
+  GroupFixture f;
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  ASSERT_EQ(f.group.leader_id(), "c2");
+  f.group.revive_replica("c1");
+  EXPECT_TRUE(f.group.replica_alive("c1"));
+  EXPECT_FALSE(f.group.tick(100.0));  // no election while a leader exists
+  EXPECT_EQ(f.group.leader_id(), "c2");
+  EXPECT_EQ(f.group.term(), 2u);
+}
+
+TEST(Election, CascadingFailuresExhaustReplicas) {
+  GroupFixture f;
+  f.group.fail_leader(10.0);   // c1 down
+  ASSERT_TRUE(f.group.tick(16.0));
+  f.group.fail_leader(20.0);   // c2 down
+  ASSERT_TRUE(f.group.tick(26.0));
+  EXPECT_EQ(f.group.leader_id(), "c3");
+  EXPECT_EQ(f.group.term(), 3u);
+  f.group.fail_leader(30.0);   // c3 down — nobody left
+  EXPECT_FALSE(f.group.tick(100.0));
+  EXPECT_FALSE(f.group.has_leader());
+  EXPECT_FALSE(f.group.assign_client({}, 100.0).has_value());
+  // A revival allows the next tick to elect.
+  f.group.revive_replica("c2");
+  EXPECT_TRUE(f.group.tick(101.0));
+  EXPECT_EQ(f.group.leader_id(), "c2");
+  EXPECT_EQ(f.group.term(), 4u);
+}
+
+TEST(Election, FollowerFailureDoesNotDisturbLeader) {
+  GroupFixture f;
+  f.group.fail_replica("c3", 10.0);
+  EXPECT_EQ(f.group.leader_id(), "c1");
+  EXPECT_EQ(f.group.term(), 1u);
+  EXPECT_TRUE(f.group.assign_client({}, 11.0).has_value());
+}
+
+TEST(Election, SelectorsServeCachedMapWhileLeaderless) {
+  GroupFixture f;
+  Selector selector("s1");
+  selector.refresh(f.group.leader());
+  const std::string cached_owner = *selector.route("t");
+
+  f.group.fail_leader(10.0);
+  EXPECT_EQ(f.group.assignment_map(), nullptr);
+  // The Selector keeps routing from its cache (App. E.4: selectors continue
+  // "to operate based on last known assignments").
+  EXPECT_EQ(*selector.route("t"), cached_owner);
+
+  ASSERT_TRUE(f.group.tick(16.0));
+  selector.refresh(f.group.leader());
+  EXPECT_EQ(*selector.route("t"), cached_owner);
+}
+
+TEST(Election, AggregatorFailureDuringLeaderOutageHandledAfterElection) {
+  // An Aggregator dies while the group is leaderless; the new leader's
+  // failure detector must still move its tasks once heartbeats lapse.
+  GroupFixture f;
+  Aggregator& dead = f.owner();
+  Aggregator& standby = &dead == &f.a ? f.b : f.a;
+
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  // Only the standby heartbeats after the election; the owner stays silent.
+  for (double t = 20.0; t <= 120.0; t += 10.0) {
+    f.group.aggregator_report(standby.id(), standby.next_report_sequence(), t,
+                              {});
+  }
+  const auto failed = f.group.detect_failures(120.0, 30.0);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed.front(), dead.id());
+  EXPECT_EQ(f.group.assignment_map()->task_to_aggregator.at("t"),
+            standby.id());
+  EXPECT_TRUE(standby.has_task("t"));
+}
+
+TEST(Election, ModelProgressSurvivesLeaderFailover) {
+  // Server model version advances before the failover and is intact after:
+  // leader state is soft, task state lives on the Aggregator.
+  GroupFixture f;
+  Aggregator& owner = f.owner();
+  ASSERT_TRUE(owner.client_join("t", 1, 1.0).accepted);
+  ASSERT_TRUE(owner.client_join("t", 2, 1.0).accepted);
+  (void)owner.client_report("t", update(1, 0), 2.0);
+  const auto r = owner.client_report("t", update(2, 0), 2.5);
+  ASSERT_TRUE(r.server_stepped);
+  const std::uint64_t version = owner.model_version("t");
+  ASSERT_GE(version, 1u);
+
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  EXPECT_EQ(owner.model_version("t"), version);
+  EXPECT_EQ(f.group.assignment_map()->task_to_aggregator.at("t"), owner.id());
+}
+
+/// Randomized driver: any interleaving of failures, revivals, and ticks
+/// preserves the group invariants — at most one leader, monotone terms, the
+/// leader is always a live replica, and assignments only flow when a leader
+/// exists and is out of recovery.
+class ElectionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElectionFuzz, InvariantsHoldUnderRandomFailureSequences) {
+  util::Rng rng(GetParam());
+  CoordinatorGroup::Options options;
+  options.election_timeout_s = 2.0;
+  options.recovery_period_s = 5.0;
+  const std::vector<std::string> ids{"c1", "c2", "c3", "c4"};
+  CoordinatorGroup group(ids, options);
+
+  std::uint64_t last_term = group.term();
+  double now = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    now += rng.uniform(0.5, 3.0);
+    switch (rng.uniform_int(4)) {
+      case 0:
+        group.fail_replica(ids[rng.uniform_int(ids.size())], now);
+        break;
+      case 1:
+        group.revive_replica(ids[rng.uniform_int(ids.size())]);
+        break;
+      case 2:
+        group.fail_leader(now);
+        break;
+      default:
+        (void)group.tick(now);
+        break;
+    }
+
+    // Terms never move backwards.
+    EXPECT_GE(group.term(), last_term);
+    last_term = group.term();
+
+    if (group.has_leader()) {
+      // The leader must be a live replica.
+      EXPECT_TRUE(group.replica_alive(group.leader_id()));
+      // A leader implies an assignment map exists.
+      EXPECT_NE(group.assignment_map(), nullptr);
+    } else {
+      // No leader: assignments must be refused.
+      EXPECT_FALSE(group.assign_client({}, now).has_value());
+      EXPECT_FALSE(group.accepting_assignments(now));
+    }
+    if (group.in_recovery(now)) {
+      EXPECT_FALSE(group.assign_client({}, now).has_value());
+    }
+  }
+
+  // Liveness: revive everyone and tick past the timeout — a leader must
+  // emerge and eventually accept work again.
+  for (const auto& id : ids) group.revive_replica(id);
+  if (!group.has_leader()) {
+    (void)group.tick(now + options.election_timeout_s + 1.0);
+  }
+  ASSERT_TRUE(group.has_leader());
+  EXPECT_TRUE(group.accepting_assignments(now + options.election_timeout_s +
+                                          options.recovery_period_s + 2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElectionFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Election, FailoverEmitsOperatorLog) {
+  util::CapturingLogSink sink(util::LogLevel::kInfo);
+  GroupFixture f;
+  f.group.fail_leader(10.0);
+  ASSERT_TRUE(f.group.tick(16.0));
+  EXPECT_TRUE(sink.contains("leader c1 failed"));
+  EXPECT_TRUE(sink.contains("leader elected: c2"));
+}
+
+TEST(Election, LateAggregatorRegistrationReachesCurrentLeader) {
+  CoordinatorGroup group({"c1", "c2"}, fast_options());
+  Aggregator late("agg-late");
+  group.fail_leader(1.0);
+  ASSERT_TRUE(group.tick(7.0));
+  group.register_aggregator(late, 8.0);
+  // Past recovery (7 + 30), the new leader can place tasks on it.
+  group.submit_task(tiny_task("t-new"), std::vector<float>(2, 0.0f), {}, 40.0);
+  EXPECT_TRUE(late.has_task("t-new"));
+}
+
+}  // namespace
+}  // namespace papaya::fl

@@ -1,0 +1,1106 @@
+// Tests for the core FL library: update weighting, the parallel aggregation
+// pipeline, Aggregator semantics in both modes (goals, demand, staleness
+// aborts, over-selection, timeouts), Coordinator placement / demand pooling /
+// failure recovery, Selector staleness, and the client runtime.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/aggregator.hpp"
+#include "fl/chunking.hpp"
+#include "fl/client_runtime.hpp"
+#include "fl/coordinator.hpp"
+#include "fl/model_store.hpp"
+#include "fl/model_update.hpp"
+#include "fl/parallel_agg.hpp"
+#include "fl/secure_buffer.hpp"
+#include "fl/selector.hpp"
+#include "ml/dataset.hpp"
+#include "ml/math.hpp"
+
+namespace papaya::fl {
+namespace {
+
+// ---------------------------------------------------------- Model updates --
+
+TEST(ModelUpdate, SerializationRoundTrip) {
+  ModelUpdate u;
+  u.client_id = 42;
+  u.initial_version = 7;
+  u.num_examples = 13;
+  u.delta = {1.0f, -2.5f, 0.0f};
+  const ModelUpdate back = ModelUpdate::deserialize(u.serialize());
+  EXPECT_EQ(back.client_id, 42u);
+  EXPECT_EQ(back.initial_version, 7u);
+  EXPECT_EQ(back.num_examples, 13u);
+  EXPECT_EQ(back.delta, u.delta);
+}
+
+TEST(ModelUpdate, StalenessWeightFollowsPaperFormula) {
+  // App. E.2: w = 1 / sqrt(1 + s).
+  EXPECT_DOUBLE_EQ(staleness_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(staleness_weight(3), 0.5);
+  EXPECT_NEAR(staleness_weight(99), 0.1, 1e-12);
+}
+
+TEST(ModelUpdate, WeightMonotonicInExamplesAndStaleness) {
+  EXPECT_GT(update_weight(100, 0), update_weight(10, 0));
+  EXPECT_GT(update_weight(10, 0), update_weight(10, 5));
+}
+
+// ----------------------------------------------------- Parallel aggregator --
+
+util::Bytes make_update(std::uint64_t client, std::size_t size, float value,
+                        std::size_t examples = 1) {
+  ModelUpdate u;
+  u.client_id = client;
+  u.num_examples = examples;
+  u.delta.assign(size, value);
+  return u.serialize();
+}
+
+TEST(ParallelAggregator, WeightedMeanAcrossManyUpdates) {
+  ParallelAggregator agg(4, /*threads=*/4, /*intermediates=*/4);
+  // 10 updates of value i with weight i: mean = sum(i*i)/sum(i).
+  double expected_num = 0.0, expected_den = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    agg.enqueue(make_update(static_cast<std::uint64_t>(i), 4,
+                            static_cast<float>(i)),
+                static_cast<double>(i));
+    expected_num += static_cast<double>(i) * i;
+    expected_den += i;
+  }
+  const auto reduced = agg.reduce_and_reset();
+  EXPECT_EQ(reduced.count, 10u);
+  EXPECT_NEAR(reduced.weight_sum, expected_den, 1e-9);
+  for (float v : reduced.mean_delta) {
+    EXPECT_NEAR(v, expected_num / expected_den, 1e-4);
+  }
+}
+
+TEST(ParallelAggregator, ResetsBetweenBuffers) {
+  ParallelAggregator agg(2, 2, 2);
+  agg.enqueue(make_update(1, 2, 1.0f), 1.0);
+  (void)agg.reduce_and_reset();
+  agg.enqueue(make_update(2, 2, 5.0f), 1.0);
+  const auto second = agg.reduce_and_reset();
+  EXPECT_EQ(second.count, 1u);
+  EXPECT_NEAR(second.mean_delta[0], 5.0f, 1e-6);
+}
+
+TEST(ParallelAggregator, MalformedUpdateDropped) {
+  ParallelAggregator agg(4, 2, 2);
+  agg.enqueue(make_update(1, 2, 1.0f), 1.0);  // wrong size: 2 != 4
+  agg.enqueue(make_update(2, 4, 3.0f), 1.0);
+  const auto reduced = agg.reduce_and_reset();
+  EXPECT_EQ(reduced.count, 1u);
+  EXPECT_NEAR(reduced.mean_delta[0], 3.0f, 1e-6);
+}
+
+TEST(ParallelAggregator, HighConcurrencyStress) {
+  const std::size_t n = 2000;
+  ParallelAggregator agg(8, 8, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    agg.enqueue(make_update(i, 8, 1.0f), 1.0);
+  }
+  const auto reduced = agg.reduce_and_reset();
+  EXPECT_EQ(reduced.count, n);
+  EXPECT_NEAR(reduced.weight_sum, static_cast<double>(n), 1e-6);
+  for (float v : reduced.mean_delta) EXPECT_NEAR(v, 1.0f, 1e-4);
+}
+
+// -------------------------------------------------------------- Aggregator --
+
+TaskConfig async_task(std::size_t concurrency, std::size_t goal,
+                      std::size_t model_size = 4) {
+  TaskConfig cfg;
+  cfg.name = "lm";
+  cfg.mode = TrainingMode::kAsync;
+  cfg.concurrency = concurrency;
+  cfg.aggregation_goal = goal;
+  cfg.model_size = model_size;
+  cfg.max_staleness = 10;
+  return cfg;
+}
+
+TaskConfig sync_task(std::size_t goal, double over_selection,
+                     std::size_t model_size = 4) {
+  TaskConfig cfg;
+  cfg.name = "lm";
+  cfg.mode = TrainingMode::kSync;
+  cfg.concurrency = TaskConfig::over_selected_cohort(goal, over_selection);
+  cfg.aggregation_goal = goal;
+  cfg.model_size = model_size;
+  return cfg;
+}
+
+util::Bytes update_from(std::uint64_t client, std::uint64_t version,
+                        std::size_t model_size = 4, float value = 0.1f) {
+  ModelUpdate u;
+  u.client_id = client;
+  u.initial_version = version;
+  u.num_examples = 10;
+  u.delta.assign(model_size, value);
+  return u.serialize();
+}
+
+TEST(Aggregator, JoinRespectsConcurrencyLimit) {
+  Aggregator agg("a");
+  agg.assign_task(async_task(3, 2), std::vector<float>(4, 0.0f), {});
+  EXPECT_TRUE(agg.client_join("lm", 1, 0.0).accepted);
+  EXPECT_TRUE(agg.client_join("lm", 2, 0.0).accepted);
+  EXPECT_TRUE(agg.client_join("lm", 3, 0.0).accepted);
+  EXPECT_FALSE(agg.client_join("lm", 4, 0.0).accepted);  // App. E.1
+  EXPECT_EQ(agg.client_demand("lm"), 0);
+}
+
+TEST(Aggregator, DuplicateJoinRejected) {
+  Aggregator agg("a");
+  agg.assign_task(async_task(3, 2), std::vector<float>(4, 0.0f), {});
+  EXPECT_TRUE(agg.client_join("lm", 1, 0.0).accepted);
+  EXPECT_FALSE(agg.client_join("lm", 1, 0.0).accepted);
+}
+
+TEST(Aggregator, AsyncGoalTriggersServerStep) {
+  Aggregator agg("a");
+  agg.assign_task(async_task(10, 3), std::vector<float>(4, 0.0f), {});
+  for (std::uint64_t c = 1; c <= 3; ++c) agg.client_join("lm", c, 0.0);
+  EXPECT_FALSE(agg.client_report("lm", update_from(1, 0), 1.0).server_stepped);
+  EXPECT_FALSE(agg.client_report("lm", update_from(2, 0), 2.0).server_stepped);
+  const auto r = agg.client_report("lm", update_from(3, 0), 3.0);
+  EXPECT_TRUE(r.server_stepped);
+  EXPECT_EQ(agg.model_version("lm"), 1u);
+  EXPECT_EQ(agg.stats("lm").server_steps, 1u);
+  EXPECT_EQ(agg.stats("lm").updates_applied, 3u);
+}
+
+TEST(Aggregator, ServerStepMovesModelInDeltaDirection) {
+  Aggregator agg("a");
+  agg.assign_task(async_task(5, 1), std::vector<float>(4, 0.0f), {.lr = 0.1f});
+  agg.client_join("lm", 1, 0.0);
+  agg.client_report("lm", update_from(1, 0, 4, 1.0f), 1.0);
+  for (float v : agg.model("lm")) EXPECT_GT(v, 0.0f);
+}
+
+TEST(Aggregator, AsyncStaleUpdateDiscarded) {
+  // The report-time staleness check: a client *in the active set* whose
+  // update header claims an initial version older than max_staleness allows
+  // (e.g. a client that re-used a stale cached model) must be discarded.
+  Aggregator agg("a");
+  auto cfg = async_task(20, 1);
+  cfg.max_staleness = 2;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  // Drive the version to 4 with fresh clients (K = 1).
+  for (std::uint64_t c = 1; c <= 4; ++c) {
+    agg.client_join("lm", c, 0.0);
+    agg.client_report("lm", update_from(c, agg.model_version("lm")), 1.0);
+  }
+  EXPECT_EQ(agg.model_version("lm"), 4u);
+  // Client 10 joins *now* (version 4) but reports an update computed from
+  // version 0: staleness 4 > 2.
+  agg.client_join("lm", 10, 2.0);
+  const auto r = agg.client_report("lm", update_from(10, 0), 5.0);
+  EXPECT_EQ(r.outcome, ReportOutcome::kDiscardedStale);
+  EXPECT_EQ(agg.model_version("lm"), 4u);
+}
+
+TEST(Aggregator, AsyncAbortsOverStaleClientsAfterStep) {
+  Aggregator agg("a");
+  auto cfg = async_task(20, 1);
+  cfg.max_staleness = 3;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 10, 0.0);  // joins at version 0
+  std::vector<std::uint64_t> aborted;
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    agg.client_join("lm", c, 0.0);
+    const auto r =
+        agg.client_report("lm", update_from(c, agg.model_version("lm")), 1.0);
+    aborted.insert(aborted.end(), r.aborted_clients.begin(),
+                   r.aborted_clients.end());
+  }
+  // After version exceeds staleness 3, client 10 must have been aborted.
+  EXPECT_NE(std::find(aborted.begin(), aborted.end(), 10u), aborted.end());
+  // And its eventual report is rejected.
+  const auto r = agg.client_report("lm", update_from(10, 0), 6.0);
+  EXPECT_EQ(r.outcome, ReportOutcome::kRejectedUnknown);
+}
+
+TEST(Aggregator, SyncRoundClosesAtGoalAndAbortsStragglers) {
+  Aggregator agg("a");
+  agg.assign_task(sync_task(2, 0.5), std::vector<float>(4, 0.0f), {});
+  // Cohort of 3 (goal 2, 50% over-selection).
+  EXPECT_TRUE(agg.client_join("lm", 1, 0.0).accepted);
+  EXPECT_TRUE(agg.client_join("lm", 2, 0.0).accepted);
+  EXPECT_TRUE(agg.client_join("lm", 3, 0.0).accepted);
+
+  agg.client_report("lm", update_from(1, 0), 1.0);
+  const auto r = agg.client_report("lm", update_from(2, 0), 2.0);
+  EXPECT_TRUE(r.server_stepped);
+  // The straggler (client 3) is aborted at round close.
+  ASSERT_EQ(r.aborted_clients.size(), 1u);
+  EXPECT_EQ(r.aborted_clients[0], 3u);
+  // Its late report is discarded (over-selection discard).
+  const auto late = agg.client_report("lm", update_from(3, 0), 3.0);
+  EXPECT_EQ(late.outcome, ReportOutcome::kRejectedUnknown);
+  EXPECT_GE(agg.stats("lm").updates_discarded, 1u);
+}
+
+TEST(Aggregator, SyncDemandSemantics) {
+  // App. E.3: sync demand = cohort - completed - active; a completion does
+  // NOT open a slot mid-round, a failure does.
+  Aggregator agg("a");
+  agg.assign_task(sync_task(4, 0.0), std::vector<float>(4, 0.0f), {});
+  EXPECT_EQ(agg.client_demand("lm"), 4);
+  for (std::uint64_t c = 1; c <= 4; ++c) agg.client_join("lm", c, 0.0);
+  EXPECT_EQ(agg.client_demand("lm"), 0);
+
+  agg.client_report("lm", update_from(1, 0), 1.0);  // completion
+  EXPECT_EQ(agg.client_demand("lm"), 0);            // no replacement slot
+
+  agg.client_failed("lm", 2, 1.5);                  // failure
+  EXPECT_EQ(agg.client_demand("lm"), 1);            // mid-round replacement
+  EXPECT_TRUE(agg.client_join("lm", 5, 2.0).accepted);
+}
+
+TEST(Aggregator, AsyncDemandOpensSlotOnCompletionAndFailure) {
+  Aggregator agg("a");
+  agg.assign_task(async_task(2, 5), std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 1, 0.0);
+  agg.client_join("lm", 2, 0.0);
+  EXPECT_EQ(agg.client_demand("lm"), 0);
+  agg.client_report("lm", update_from(1, 0), 1.0);
+  EXPECT_EQ(agg.client_demand("lm"), 1);  // completion frees the slot
+  agg.client_failed("lm", 2, 1.0);
+  EXPECT_EQ(agg.client_demand("lm"), 2);
+}
+
+TEST(Aggregator, SyncNewRoundStartsAfterStep) {
+  Aggregator agg("a");
+  agg.assign_task(sync_task(2, 0.0), std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 1, 0.0);
+  agg.client_join("lm", 2, 0.0);
+  agg.client_report("lm", update_from(1, 0), 1.0);
+  agg.client_report("lm", update_from(2, 0), 2.0);
+  EXPECT_EQ(agg.model_version("lm"), 1u);
+  // New round: full demand again.
+  EXPECT_EQ(agg.client_demand("lm"), 2);
+  EXPECT_TRUE(agg.client_join("lm", 3, 3.0).accepted);
+}
+
+TEST(Aggregator, TimeoutExpiryFreesSlotAndRejectsLateReport) {
+  Aggregator agg("a");
+  auto cfg = async_task(1, 5);
+  cfg.client_timeout_s = 10.0;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 1, 0.0);
+  const auto expired = agg.expire_timeouts("lm", 11.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  EXPECT_EQ(agg.client_demand("lm"), 1);
+  const auto r = agg.client_report("lm", update_from(1, 0), 12.0);
+  EXPECT_EQ(r.outcome, ReportOutcome::kRejectedUnknown);
+}
+
+TEST(Aggregator, LateReportPastDeadlineRejected) {
+  Aggregator agg("a");
+  auto cfg = async_task(1, 5);
+  cfg.client_timeout_s = 10.0;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 1, 0.0);
+  const auto r = agg.client_report("lm", update_from(1, 0), 20.0);
+  EXPECT_EQ(r.outcome, ReportOutcome::kRejectedTimeout);
+}
+
+TEST(Aggregator, StalenessWeightingDownweightsStaleUpdates) {
+  // Two aggregations with identical deltas, one fresh and one stale: the
+  // weighted mean must tilt toward the fresh update's direction.
+  Aggregator agg("a");
+  auto cfg = async_task(10, 2, /*model_size=*/1);
+  cfg.max_staleness = 100;
+  agg.assign_task(cfg, std::vector<float>(1, 0.0f), {.lr = 0.5f});
+  // Build a version gap: client A joins now; 1 step happens via B,C.
+  agg.client_join("lm", 1, 0.0);  // will become stale
+  agg.client_join("lm", 2, 0.0);
+  agg.client_join("lm", 3, 0.0);
+  agg.client_report("lm", update_from(2, 0, 1, 1.0f), 1.0);
+  agg.client_report("lm", update_from(3, 0, 1, 1.0f), 1.0);  // step 1
+  const float after_first = agg.model("lm")[0];
+
+  // Now stale client (staleness 1, weight 1/sqrt(2)) reports -1, and a fresh
+  // client reports +1 with weight 1: mean > 0.
+  agg.client_join("lm", 4, 2.0);
+  agg.client_report("lm", update_from(1, 0, 1, -1.0f), 2.0);
+  agg.client_report("lm", update_from(4, 1, 1, 1.0f), 2.0);
+  EXPECT_GT(agg.model("lm")[0], after_first - 1e-6);
+}
+
+TEST(Aggregator, RejectsSyncGoalAboveConcurrency) {
+  Aggregator agg("a");
+  TaskConfig cfg = sync_task(4, 0.0);
+  cfg.concurrency = 3;
+  EXPECT_THROW(agg.assign_task(cfg, std::vector<float>(4, 0.0f), {}),
+               std::invalid_argument);
+}
+
+TEST(Aggregator, UnknownTaskThrows) {
+  Aggregator agg("a");
+  EXPECT_THROW(agg.model("nope"), std::out_of_range);
+  EXPECT_THROW(agg.client_join("nope", 1, 0.0), std::out_of_range);
+}
+
+// ------------------------------------------------------------- Coordinator --
+
+TEST(Coordinator, PlacesTaskOnLeastLoadedAggregator) {
+  Aggregator a("a"), b("b");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.register_aggregator(b, 0.0);
+
+  TaskConfig big = async_task(100, 10, 8);
+  big.name = "big";
+  coord.submit_task(big, std::vector<float>(8, 0.0f), {});
+  TaskConfig small = async_task(1, 1, 8);
+  small.name = "small";
+  coord.submit_task(small, std::vector<float>(8, 0.0f), {});
+
+  // The second task must land on the other aggregator.
+  EXPECT_NE(coord.assignment_map().task_to_aggregator.at("big"),
+            coord.assignment_map().task_to_aggregator.at("small"));
+}
+
+TEST(Coordinator, AssignsClientsToEligibleTasksOnly) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  TaskConfig cfg = async_task(5, 2);
+  cfg.required_capability = "gpu";
+  coord.submit_task(cfg, std::vector<float>(4, 0.0f), {});
+
+  EXPECT_FALSE(coord.assign_client({{"cpu"}}).has_value());
+  const auto assignment = coord.assign_client({{"gpu", "cpu"}});
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->task, "lm");
+}
+
+TEST(Coordinator, PendingAssignmentsReduceDemand) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(2, 1), std::vector<float>(4, 0.0f), {});
+
+  EXPECT_TRUE(coord.assign_client({}).has_value());
+  EXPECT_TRUE(coord.assign_client({}).has_value());
+  // Demand exhausted by pending assignments (Sec. 6.2).
+  EXPECT_FALSE(coord.assign_client({}).has_value());
+  coord.assignment_concluded("lm");
+  EXPECT_TRUE(coord.assign_client({}).has_value());
+}
+
+TEST(Coordinator, ReportsRefreshDemandAndResetPending) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(3, 1), std::vector<float>(4, 0.0f), {});
+  (void)coord.assign_client({});
+  (void)coord.assign_client({});
+  EXPECT_EQ(coord.pooled_demand("lm"), 1);
+  coord.aggregator_report("a", a.next_report_sequence(), 1.0,
+                          {{"lm", a.client_demand("lm"), 0}});
+  EXPECT_EQ(coord.pooled_demand("lm"), 3);
+}
+
+TEST(Coordinator, StaleReportIgnored) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(3, 1), std::vector<float>(4, 0.0f), {});
+  coord.aggregator_report("a", 5, 1.0, {{"lm", 1, 0}});
+  coord.aggregator_report("a", 4, 2.0, {{"lm", 99, 0}});  // stale sequence
+  EXPECT_EQ(coord.pooled_demand("lm"), 1);
+}
+
+TEST(Coordinator, FailureDetectionReassignsTasks) {
+  Aggregator a("a"), b("b");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.register_aggregator(b, 0.0);
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.5f), {});
+  const std::string original =
+      coord.assignment_map().task_to_aggregator.at("lm");
+  Aggregator& owner = original == "a" ? a : b;
+  Aggregator& other = original == "a" ? b : a;
+
+  // Only the other aggregator heartbeats; the owner goes silent.
+  const std::uint64_t v0 = coord.assignment_map().version;
+  coord.aggregator_report(other.id(), 1, 100.0, {});
+  const auto failed = coord.detect_failures(100.0, 30.0);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], owner.id());
+  EXPECT_EQ(coord.assignment_map().task_to_aggregator.at("lm"), other.id());
+  EXPECT_GT(coord.assignment_map().version, v0);
+  EXPECT_TRUE(other.has_task("lm"));
+  // Model state survived the move (checkpoint semantics).
+  EXPECT_FLOAT_EQ(other.model("lm")[0], 0.5f);
+}
+
+TEST(Coordinator, RecoveryRebuildsMapFromAggregators) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.0f), {});
+  const auto before = coord.assignment_map().task_to_aggregator;
+
+  // Simulated coordinator restart: rebuild from aggregator state.
+  coord.recover_from_aggregator_state(50.0);
+  EXPECT_EQ(coord.assignment_map().task_to_aggregator, before);
+}
+
+TEST(Coordinator, NoAggregatorsThrows) {
+  Coordinator coord;
+  EXPECT_THROW(coord.submit_task(async_task(1, 1), std::vector<float>(4, 0.0f),
+                                 {}),
+               std::runtime_error);
+}
+
+TEST(Coordinator, RemoveTaskStopsAssignment) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.0f), {});
+  coord.remove_task("lm");
+  EXPECT_FALSE(coord.assign_client({}).has_value());
+  EXPECT_FALSE(a.has_task("lm"));
+}
+
+// ---------------------------------------------------------------- Selector --
+
+TEST(Selector, RoutesAfterRefresh) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.0f), {});
+
+  Selector sel("s");
+  EXPECT_FALSE(sel.route("lm").has_value());  // never refreshed
+  sel.refresh(coord);
+  ASSERT_TRUE(sel.route("lm").has_value());
+  EXPECT_EQ(*sel.route("lm"), "a");
+}
+
+TEST(Selector, DetectsStaleness) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  Selector sel("s");
+  sel.refresh(coord);
+  EXPECT_FALSE(sel.is_stale(coord));
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.0f), {});
+  EXPECT_TRUE(sel.is_stale(coord));  // map version bumped
+  sel.refresh(coord);
+  EXPECT_FALSE(sel.is_stale(coord));
+}
+
+TEST(Selector, CrashWipesMapAndRefreshRestores) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.submit_task(async_task(5, 2), std::vector<float>(4, 0.0f), {});
+  Selector sel("s");
+  sel.refresh(coord);
+  sel.crash();
+  EXPECT_FALSE(sel.route("lm").has_value());
+  sel.refresh(coord);
+  EXPECT_TRUE(sel.route("lm").has_value());
+}
+
+// ----------------------------------------------------- Chunked uploads ----
+
+TEST(Chunking, SplitAndReassembleRoundTrip) {
+  util::Bytes payload(200'001);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const auto chunks = chunk_upload(7, payload, 64 * 1024);
+  EXPECT_EQ(chunks.size(), 4u);
+  ChunkAssembler assembler(7);
+  for (const auto& chunk : chunks) {
+    const auto verdict = assembler.accept(chunk);
+    EXPECT_TRUE(verdict == ChunkAssembler::Accept::kAccepted ||
+                verdict == ChunkAssembler::Accept::kComplete);
+  }
+  const auto out = assembler.assemble();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+TEST(Chunking, OutOfOrderAndDuplicateChunks) {
+  util::Bytes payload(1000, 0xab);
+  auto chunks = chunk_upload(1, payload, 100);
+  ChunkAssembler assembler(1);
+  // Reverse order + a duplicate.
+  for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+    assembler.accept(*it);
+  }
+  EXPECT_EQ(assembler.accept(chunks[3]), ChunkAssembler::Accept::kDuplicate);
+  EXPECT_EQ(*assembler.assemble(), payload);
+}
+
+TEST(Chunking, CorruptChunkRejected) {
+  auto chunks = chunk_upload(1, util::Bytes(500, 0x11), 100);
+  chunks[2].payload[5] ^= 0x01;  // CRC now mismatches
+  ChunkAssembler assembler(1);
+  EXPECT_EQ(assembler.accept(chunks[2]), ChunkAssembler::Accept::kCorrupt);
+  EXPECT_FALSE(assembler.complete());
+  // Retransmission of the intact chunk succeeds.
+  chunks[2].payload[5] ^= 0x01;
+  EXPECT_EQ(assembler.accept(chunks[2]), ChunkAssembler::Accept::kAccepted);
+}
+
+TEST(Chunking, WrongSessionOrInconsistentTotalsRejected) {
+  const auto chunks = chunk_upload(1, util::Bytes(300, 0x22), 100);
+  ChunkAssembler assembler(2);  // different session
+  EXPECT_EQ(assembler.accept(chunks[0]), ChunkAssembler::Accept::kInconsistent);
+
+  ChunkAssembler assembler2(1);
+  assembler2.accept(chunks[0]);
+  UploadChunk lying = chunks[1];
+  lying.total = 99;
+  EXPECT_EQ(assembler2.accept(lying), ChunkAssembler::Accept::kInconsistent);
+}
+
+TEST(Chunking, EmptyPayloadStillOneChunk) {
+  const auto chunks = chunk_upload(1, {}, 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  ChunkAssembler assembler(1);
+  EXPECT_EQ(assembler.accept(chunks[0]), ChunkAssembler::Accept::kComplete);
+  EXPECT_EQ(assembler.assemble()->size(), 0u);
+}
+
+TEST(Chunking, Crc32KnownAnswer) {
+  // CRC-32 of "123456789" is 0xcbf43926 (IEEE 802.3 check value).
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}),
+            0xcbf43926u);
+}
+
+TEST(Chunking, ChunkSerializationRoundTrip) {
+  UploadChunk chunk;
+  chunk.session_id = 42;
+  chunk.index = 3;
+  chunk.total = 7;
+  chunk.payload = {1, 2, 3};
+  chunk.crc = crc32(chunk.payload);
+  const UploadChunk back = UploadChunk::deserialize(chunk.serialize());
+  EXPECT_EQ(back.session_id, 42u);
+  EXPECT_EQ(back.index, 3u);
+  EXPECT_EQ(back.total, 7u);
+  EXPECT_EQ(back.payload, chunk.payload);
+  EXPECT_EQ(back.crc, chunk.crc);
+}
+
+// ---------------------------------------------------- Weighting ablations --
+
+TEST(Aggregator, ExampleWeightingOffUsesUniformWeights) {
+  // With both weightings off, a heavy client and a light client contribute
+  // equally: the mean of +1 (1000 examples) and -1 (1 example) is 0, so the
+  // model must not move from the first step's direction asymmetrically.
+  for (const bool weighting : {true, false}) {
+    Aggregator agg("a");
+    auto cfg = async_task(10, 2, 1);
+    cfg.example_weighting = weighting;
+    cfg.staleness_weighting = false;
+    agg.assign_task(cfg, std::vector<float>(1, 0.0f), {.lr = 0.5f});
+    agg.client_join("lm", 1, 0.0);
+    agg.client_join("lm", 2, 0.0);
+    ModelUpdate heavy;
+    heavy.client_id = 1;
+    heavy.num_examples = 1000;
+    heavy.delta = {1.0f};
+    ModelUpdate light;
+    light.client_id = 2;
+    light.num_examples = 1;
+    light.delta = {-1.0f};
+    agg.client_report("lm", heavy.serialize(), 1.0);
+    agg.client_report("lm", light.serialize(), 1.0);
+    if (weighting) {
+      EXPECT_GT(agg.model("lm")[0], 0.01f);  // heavy client dominates
+    } else {
+      EXPECT_NEAR(agg.model("lm")[0], 0.0f, 1e-3f);  // exact cancellation
+    }
+  }
+}
+
+// --------------------------------------------------- Differential privacy --
+
+TEST(Aggregator, DpClippingBoundsPerUpdateInfluence) {
+  // One malicious client sends a huge delta; with clipping its influence on
+  // the model is bounded by clip_norm.
+  Aggregator agg("a");
+  auto cfg = async_task(10, 1, 2);
+  cfg.dp.enabled = true;
+  cfg.dp.clip_norm = 0.1f;
+  cfg.dp.noise_multiplier = 0.0f;
+  agg.assign_task(cfg, std::vector<float>(2, 0.0f), {.lr = 1.0f});
+  agg.client_join("lm", 1, 0.0);
+  ModelUpdate u;
+  u.client_id = 1;
+  u.num_examples = 1;
+  u.delta = {1e6f, 1e6f};
+  agg.client_report("lm", u.serialize(), 1.0);
+  // FedAdam normalizes magnitude, but the *pseudo-gradient* fed to it was
+  // clipped: verify via a second task without clipping that the buffered
+  // mean differs (model trajectories diverge in later steps).  Directly:
+  // the clipped mean has norm <= clip_norm; with lr=1 and tau, the step is
+  // bounded ~lr.  The key invariant testable here: no NaN/inf and a step
+  // of bounded magnitude.
+  for (float v : agg.model("lm")) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 2.0f);
+  }
+}
+
+TEST(Aggregator, DpNoisePerturbsDeterministically) {
+  // Same task, same updates: with noise_multiplier > 0 the resulting model
+  // differs from the noiseless run but is identical across re-runs (seeded
+  // by task name).
+  auto run = [](float noise) {
+    Aggregator agg("a");
+    auto cfg = async_task(10, 1, 4);
+    cfg.dp.enabled = true;
+    cfg.dp.clip_norm = 1.0f;
+    cfg.dp.noise_multiplier = noise;
+    agg.assign_task(cfg, std::vector<float>(4, 0.0f), {.lr = 0.1f});
+    agg.client_join("lm", 1, 0.0);
+    agg.client_report("lm", update_from(1, 0, 4, 0.5f), 1.0);
+    return agg.model("lm");
+  };
+  const auto noiseless = run(0.0f);
+  const auto noisy_a = run(1.0f);
+  const auto noisy_b = run(1.0f);
+  EXPECT_NE(noiseless, noisy_a);
+  EXPECT_EQ(noisy_a, noisy_b);
+}
+
+TEST(ParallelAggregator, ClipNormAppliedPerUpdate) {
+  ParallelAggregator agg(2, 1, 1, /*clip_norm=*/1.0f);
+  ModelUpdate big;
+  big.client_id = 1;
+  big.delta = {30.0f, 40.0f};  // norm 50 -> scaled to norm 1
+  agg.enqueue(big.serialize(), 1.0);
+  const auto reduced = agg.reduce_and_reset();
+  EXPECT_NEAR(ml::norm(reduced.mean_delta), 1.0f, 1e-5f);
+  EXPECT_NEAR(reduced.mean_delta[0] / reduced.mean_delta[1], 0.75f, 1e-5f);
+}
+
+// ------------------------------------------------- Secure buffered FedBuff --
+
+TEST(SecureBuffer, EndToEndSecureServerStep) {
+  Aggregator agg("a");
+  auto cfg = async_task(10, 2, 4);
+  cfg.secagg_enabled = true;
+  cfg.example_weighting = false;  // uniform mean for exact expectation
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {.lr = 0.1f});
+
+  for (std::uint64_t c = 1; c <= 2; ++c) {
+    ASSERT_TRUE(agg.client_join("lm", c, 0.0).accepted);
+  }
+  const std::vector<float> delta{0.5f, -0.5f, 0.25f, 0.0f};
+  ReportResult last;
+  for (std::uint64_t c = 1; c <= 2; ++c) {
+    const auto upload = agg.secure_upload_config("lm");
+    ASSERT_TRUE(upload.has_value());
+    const auto report = SecureBufferManager::prepare_report(
+        agg.secure_platform("lm"), *upload, c, 0, 10,
+        agg.secure_update_weight("lm", 10), delta, c);
+    ASSERT_TRUE(report.has_value());
+    last = agg.client_report_secure("lm", *report, 1.0);
+    EXPECT_EQ(last.outcome, ReportOutcome::kAccepted);
+  }
+  EXPECT_TRUE(last.server_stepped);
+  EXPECT_EQ(agg.model_version("lm"), 1u);
+  // Model moved in the delta's direction.
+  EXPECT_GT(agg.model("lm")[0], 0.0f);
+  EXPECT_LT(agg.model("lm")[1], 0.0f);
+}
+
+TEST(SecureBuffer, EpochRotatesAfterRelease) {
+  SecureBufferManager manager(4, 1, 77);
+  const std::uint64_t first_epoch = manager.epoch();
+  const auto upload = manager.next_upload_config();
+  ASSERT_TRUE(upload.has_value());
+  const auto report = SecureBufferManager::prepare_report(
+      manager.platform(), *upload, 1, 0, 5, 1.0,
+      std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}, 1);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(manager.submit(*report, 1.0), SecureSubmitOutcome::kAccepted);
+  ASSERT_TRUE(manager.finalize_mean().has_value());
+  EXPECT_EQ(manager.epoch(), first_epoch + 1);
+  // A contribution prepared against the released epoch is rejected.
+  EXPECT_EQ(manager.submit(*report, 1.0), SecureSubmitOutcome::kWrongEpoch);
+}
+
+TEST(SecureBuffer, WeightedMeanMatchesPlaintext) {
+  // Two clients with different weights: secure mean == weighted plaintext
+  // mean within fixed-point resolution.
+  SecureBufferManager manager(2, 2, 99);
+  const std::vector<float> d1{1.0f, 0.0f}, d2{0.0f, 1.0f};
+  const double w1 = 3.0, w2 = 1.0;
+  for (const auto& [delta, weight, id] :
+       {std::tuple{d1, w1, 1ULL}, std::tuple{d2, w2, 2ULL}}) {
+    const auto upload = manager.next_upload_config();
+    ASSERT_TRUE(upload.has_value());
+    const auto report = SecureBufferManager::prepare_report(
+        manager.platform(), *upload, id, 0, 5, weight, delta, id);
+    ASSERT_TRUE(report.has_value());
+    ASSERT_EQ(manager.submit(*report, weight), SecureSubmitOutcome::kAccepted);
+  }
+  const auto mean = manager.finalize_mean();
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_NEAR((*mean)[0], 3.0 / 4.0, 1e-3);
+  EXPECT_NEAR((*mean)[1], 1.0 / 4.0, 1e-3);
+}
+
+TEST(SecureBuffer, TamperedContributionRejectedAndSlotFreed) {
+  Aggregator agg("a");
+  auto cfg = async_task(5, 2, 4);
+  cfg.secagg_enabled = true;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  agg.client_join("lm", 1, 0.0);
+  const auto upload = agg.secure_upload_config("lm");
+  ASSERT_TRUE(upload.has_value());
+  auto report = SecureBufferManager::prepare_report(
+      agg.secure_platform("lm"), *upload, 1, 0, 10, 1.0,
+      std::vector<float>(4, 0.1f), 1);
+  ASSERT_TRUE(report.has_value());
+  report->contribution.sealed_seed.ciphertext[16] ^= 1;
+  const auto result = agg.client_report_secure("lm", *report, 1.0);
+  EXPECT_EQ(result.outcome, ReportOutcome::kRejectedUnknown);
+  EXPECT_EQ(agg.active_clients("lm"), 0u);  // slot freed for replacement
+  EXPECT_GE(agg.client_demand("lm"), 1);
+}
+
+// ---------------------------------------------------------- Client runtime --
+
+TEST(Eligibility, RequiresIdleChargingUnmetered) {
+  const EligibilityPolicy policy;
+  DeviceConditions ok;
+  EXPECT_TRUE(policy.eligible(ok, std::nullopt, 0.0));
+  for (auto* flag : {&ok.idle, &ok.charging, &ok.unmetered_network}) {
+    DeviceConditions bad = ok;
+    // Flip one condition off via pointer arithmetic on the copy.
+    if (flag == &ok.idle) bad.idle = false;
+    if (flag == &ok.charging) bad.charging = false;
+    if (flag == &ok.unmetered_network) bad.unmetered_network = false;
+    EXPECT_FALSE(policy.eligible(bad, std::nullopt, 0.0));
+  }
+}
+
+TEST(Eligibility, MinParticipationIntervalEnforced) {
+  EligibilityPolicy policy;
+  policy.min_participation_interval_s = 100.0;
+  const DeviceConditions ok;
+  EXPECT_TRUE(policy.eligible(ok, std::nullopt, 0.0));
+  EXPECT_FALSE(policy.eligible(ok, 0.0, 50.0));
+  EXPECT_TRUE(policy.eligible(ok, 0.0, 150.0));
+}
+
+TEST(ExampleStore, RetentionPolicyCapsExamples) {
+  ml::CorpusConfig ccfg;
+  ml::FederatedCorpus corpus(ccfg, 1);
+  ExampleStore store(corpus.client_dataset(0, 100), 10);
+  EXPECT_LE(store.num_train_examples(), 10u);
+}
+
+TEST(ExampleStore, AgePolicyPurgesOldExamples) {
+  RetentionPolicy policy;
+  policy.max_age_s = 100.0;
+  ExampleStore store(policy);
+  store.add_example({1, 2, 3}, 0.0);
+  store.add_example({4, 5, 6}, 50.0);
+  EXPECT_EQ(store.num_train_examples(), 2u);
+  // Ingestion at t=120 sweeps the store: the first example (age 120) is
+  // already past the 100 s cap and is purged on the spot.
+  store.add_example({7, 8, 9}, 120.0);
+  EXPECT_EQ(store.num_train_examples(), 2u);
+  EXPECT_EQ(store.dataset().train.front(), (ml::Sequence{4, 5, 6}));
+  // At t=130 the survivors are aged 80 and 10 — nothing to purge yet.
+  EXPECT_EQ(store.purge(130.0), 0u);
+  // Much later everything is expired.
+  EXPECT_EQ(store.purge(1000.0), 2u);
+  EXPECT_EQ(store.num_train_examples(), 0u);
+}
+
+TEST(ExampleStore, CountCapEvictsOldestFirst) {
+  RetentionPolicy policy;
+  policy.max_examples = 2;
+  ExampleStore store(policy);
+  store.add_example({1}, 0.0);
+  store.add_example({2}, 1.0);
+  store.add_example({3}, 2.0);  // evicts {1}
+  ASSERT_EQ(store.num_train_examples(), 2u);
+  EXPECT_EQ(store.dataset().train[0], (ml::Sequence{2}));
+  EXPECT_EQ(store.dataset().train[1], (ml::Sequence{3}));
+}
+
+TEST(ExampleStore, UseBudgetRetiresExamples) {
+  RetentionPolicy policy;
+  policy.max_uses = 2;
+  ExampleStore store(policy);
+  store.add_example({1, 2}, 0.0);
+  store.record_training_use(1.0);
+  EXPECT_EQ(store.num_train_examples(), 1u);
+  // Second use exhausts the budget; the example is retired.
+  store.record_training_use(2.0);
+  EXPECT_EQ(store.num_train_examples(), 0u);
+}
+
+TEST(ExampleStore, FreshExamplesOutliveUsedOnes) {
+  RetentionPolicy policy;
+  policy.max_uses = 2;
+  ExampleStore store(policy);
+  store.add_example({1}, 0.0);
+  store.record_training_use(1.0);   // {1} at 1 use
+  store.add_example({2}, 2.0);      // fresh
+  store.record_training_use(3.0);   // {1} retired at 2 uses; {2} at 1 use
+  ASSERT_EQ(store.num_train_examples(), 1u);
+  EXPECT_EQ(store.dataset().train.front(), (ml::Sequence{2}));
+}
+
+TEST(ExampleStore, BulkLoadStartsWithZeroUses) {
+  ml::CorpusConfig ccfg;
+  ml::FederatedCorpus corpus(ccfg, 4);
+  ExampleStore store(corpus.client_dataset(0, 20), 1000);
+  const std::size_t n = store.num_train_examples();
+  ASSERT_GT(n, 0u);
+  // Default policy has no use cap; uses accumulate harmlessly.
+  store.record_training_use(1.0);
+  EXPECT_EQ(store.num_train_examples(), n);
+}
+
+// ----------------------------------------------------------- Model store ----
+
+TEST(ModelStore, UnconstrainedStoreIsNearlyInstant) {
+  ModelStore store({});
+  EXPECT_DOUBLE_EQ(store.publish(1, 20'000'000, 5.0), 5.0);
+  EXPECT_EQ(store.visible_version(5.0), 1u);
+}
+
+TEST(ModelStore, WriteTimeFollowsBandwidthAndLatency) {
+  ModelStore store({10.0 * 1e6, 0.5});  // 10 MB/s + 500 ms commit
+  const double visible_at = store.publish(1, 20'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(visible_at, 2.5);  // 2 s transfer + 0.5 s commit
+  EXPECT_EQ(store.visible_version(2.0), 0u);
+  EXPECT_EQ(store.visible_version(2.5), 1u);
+}
+
+TEST(ModelStore, WritesSerializeAndStallIsAccounted) {
+  ModelStore store({10.0 * 1e6, 0.0});  // 1 s per 10 MB write
+  EXPECT_DOUBLE_EQ(store.publish(1, 10'000'000, 0.0), 1.0);
+  // Requested at 0.2 but the store is busy until 1.0: 0.8 s stall.
+  EXPECT_DOUBLE_EQ(store.publish(2, 10'000'000, 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(store.stats().stall_s, 0.8);
+  EXPECT_EQ(store.stats().writes, 2u);
+  EXPECT_EQ(store.stats().bytes_written, 20'000'000u);
+  // Visibility follows completion times, not request times.
+  EXPECT_EQ(store.visible_version(0.9), 0u);
+  EXPECT_EQ(store.visible_version(1.5), 1u);
+  EXPECT_EQ(store.visible_version(2.0), 2u);
+}
+
+TEST(ModelStore, IdleStoreDoesNotStall) {
+  ModelStore store({10.0 * 1e6, 0.0});
+  (void)store.publish(1, 10'000'000, 0.0);
+  (void)store.publish(2, 10'000'000, 10.0);  // long after the first finished
+  EXPECT_DOUBLE_EQ(store.stats().stall_s, 0.0);
+}
+
+TEST(ModelStore, VersionsMustIncrease) {
+  ModelStore store({});
+  (void)store.publish(2, 100, 0.0);
+  EXPECT_THROW(store.publish(2, 100, 1.0), std::invalid_argument);
+  EXPECT_THROW(store.publish(1, 100, 1.0), std::invalid_argument);
+}
+
+TEST(ModelStore, MinPublishIntervalIsTheSec73Ceiling) {
+  ModelStore store({20.0 * 1e6, 0.05});
+  EXPECT_DOUBLE_EQ(store.min_publish_interval_s(20'000'000), 1.05);
+}
+
+TEST(ModelStore, InvalidConfigRejected) {
+  EXPECT_THROW(ModelStore({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(ModelStore({-1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(ModelStore({1.0, -0.1}), std::invalid_argument);
+}
+
+// ------------------------------------------------- Staleness schemes --------
+
+TEST(StalenessScheme, AllSchemesAreOneAtZeroStaleness) {
+  for (const auto scheme :
+       {StalenessScheme::kInverseSqrt, StalenessScheme::kConstant,
+        StalenessScheme::kInversePoly, StalenessScheme::kHinge}) {
+    EXPECT_DOUBLE_EQ(staleness_weight(scheme, 0), 1.0) << to_string(scheme);
+  }
+}
+
+TEST(StalenessScheme, InverseSqrtMatchesLegacyFunction) {
+  for (const std::uint64_t s : {0ULL, 1ULL, 3ULL, 10ULL, 99ULL}) {
+    EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kInverseSqrt, s),
+                     staleness_weight(s));
+  }
+}
+
+TEST(StalenessScheme, ConstantIgnoresStaleness) {
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kConstant, 1000000), 1.0);
+}
+
+TEST(StalenessScheme, InversePolyExponentControlsDecay) {
+  StalenessParams half{.exponent = 0.5};
+  StalenessParams one{.exponent = 1.0};
+  // a = 0.5 coincides with inverse-sqrt; a = 1 decays faster.
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kInversePoly, 3, half),
+                   0.5);
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kInversePoly, 3, one),
+                   0.25);
+  EXPECT_LT(staleness_weight(StalenessScheme::kInversePoly, 10, one),
+            staleness_weight(StalenessScheme::kInversePoly, 10, half));
+}
+
+TEST(StalenessScheme, HingeIsFlatUpToCutoff) {
+  StalenessParams p{.hinge_cutoff = 10, .hinge_slope = 0.5};
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kHinge, 10, p), 1.0);
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessScheme::kHinge, 12, p), 0.5);
+  EXPECT_LT(staleness_weight(StalenessScheme::kHinge, 100, p), 0.05);
+}
+
+TEST(StalenessScheme, AllSchemesMonotoneNonIncreasing) {
+  const StalenessParams p;
+  for (const auto scheme :
+       {StalenessScheme::kInverseSqrt, StalenessScheme::kConstant,
+        StalenessScheme::kInversePoly, StalenessScheme::kHinge}) {
+    double prev = 1.0;
+    for (std::uint64_t s = 0; s <= 50; ++s) {
+      const double w = staleness_weight(scheme, s, p);
+      EXPECT_LE(w, prev) << to_string(scheme) << " at s=" << s;
+      EXPECT_GT(w, 0.0);
+      prev = w;
+    }
+  }
+}
+
+TEST(StalenessScheme, AggregatorHonoursConfiguredScheme) {
+  // Two aggregators differing only in scheme: under kConstant a stale
+  // update contributes at full weight, so the resulting models differ.
+  auto run_with = [](StalenessScheme scheme) {
+    Aggregator agg("a");
+    TaskConfig cfg;
+    cfg.name = "t";
+    cfg.mode = TrainingMode::kAsync;
+    cfg.concurrency = 8;
+    cfg.aggregation_goal = 2;
+    cfg.model_size = 1;
+    cfg.example_weighting = false;
+    cfg.staleness_scheme = scheme;
+    agg.assign_task(cfg, std::vector<float>(1, 0.0f),
+                    ml::ServerOptimizerConfig{
+                        .kind = ml::ServerOptimizerKind::kFedSgd, .lr = 1.0f});
+    // Client 1 trains from version 0 but reports late (staleness 1);
+    // clients 2 and 3 are fresh and complete the first goal.
+    EXPECT_TRUE(agg.client_join("t", 1, 0.0).accepted);
+    EXPECT_TRUE(agg.client_join("t", 2, 0.0).accepted);
+    EXPECT_TRUE(agg.client_join("t", 3, 0.0).accepted);
+    auto mk = [](std::uint64_t id, std::uint64_t version, float d) {
+      ModelUpdate u;
+      u.client_id = id;
+      u.initial_version = version;
+      u.num_examples = 4;
+      u.delta = {d};
+      return u.serialize();
+    };
+    (void)agg.client_report("t", mk(2, 0, 1.0f), 1.0);
+    (void)agg.client_report("t", mk(3, 0, 1.0f), 1.5);  // version -> 1
+    EXPECT_TRUE(agg.client_join("t", 4, 2.0).accepted);
+    (void)agg.client_report("t", mk(1, 0, 8.0f), 2.5);  // staleness 1
+    const auto r = agg.client_report("t", mk(4, 1, 0.0f), 3.0);
+    EXPECT_TRUE(r.server_stepped);
+    return agg.model("t")[0];
+  };
+  const float constant = run_with(StalenessScheme::kConstant);
+  const float inv_sqrt = run_with(StalenessScheme::kInverseSqrt);
+  // Constant weighting lets the stale 8.0 delta pull the mean up harder.
+  EXPECT_GT(constant, inv_sqrt);
+}
+
+TEST(Executor, ProducesDeltaThatReducesLocalLoss) {
+  ml::LmConfig mcfg;
+  mcfg.vocab_size = 16;
+  mcfg.embed_dim = 8;
+  mcfg.hidden_dim = 12;
+  mcfg.context = 2;
+  util::Rng rng(31);
+  auto model = ml::make_mlp_lm(mcfg, rng);
+  const std::vector<float> global(model->params().begin(),
+                                  model->params().end());
+
+  ml::CorpusConfig ccfg;
+  ccfg.vocab_size = 16;
+  ml::FederatedCorpus corpus(ccfg, 2);
+  ExampleStore store(corpus.client_dataset(0, 30), 1000);
+
+  TrainerConfig tcfg;
+  tcfg.learning_rate = 0.3f;
+  tcfg.epochs = 3;
+  Executor executor(model->clone(), tcfg);
+  util::Rng train_rng(32);
+  const LocalTrainingResult result =
+      executor.train(global, 7, 99, store, train_rng);
+
+  EXPECT_EQ(result.update.client_id, 99u);
+  EXPECT_EQ(result.update.initial_version, 7u);
+  EXPECT_EQ(result.update.num_examples, store.num_train_examples());
+  EXPECT_EQ(result.update.delta.size(), global.size());
+  EXPECT_LT(result.final_loss, result.initial_loss);
+
+  // delta = trained - initial: applying it recovers the trained model.
+  auto check = model->clone();
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    check->params()[i] = global[i] + result.update.delta[i];
+  }
+  EXPECT_NEAR(check->loss(store.dataset().train, {}), result.final_loss, 1e-5);
+}
+
+TEST(Executor, EmptyStoreYieldsZeroDelta) {
+  ml::LmConfig mcfg;
+  mcfg.vocab_size = 8;
+  util::Rng rng(33);
+  auto model = ml::make_mlp_lm(mcfg, rng);
+  const std::vector<float> global(model->params().begin(),
+                                  model->params().end());
+  Executor executor(model->clone(), {});
+  ExampleStore empty_store;
+  util::Rng train_rng(34);
+  const auto result = executor.train(global, 0, 1, empty_store, train_rng);
+  for (float v : result.update.delta) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Executor, DeterministicGivenSameRngSeed) {
+  ml::LmConfig mcfg;
+  mcfg.vocab_size = 16;
+  util::Rng rng(35);
+  auto model = ml::make_mlp_lm(mcfg, rng);
+  const std::vector<float> global(model->params().begin(),
+                                  model->params().end());
+  ml::CorpusConfig ccfg;
+  ccfg.vocab_size = 16;
+  ml::FederatedCorpus corpus(ccfg, 3);
+  ExampleStore store(corpus.client_dataset(0, 20), 1000);
+  Executor executor(model->clone(), {});
+
+  util::Rng r1(77), r2(77);
+  const auto a = executor.train(global, 0, 1, store, r1);
+  const auto b = executor.train(global, 0, 1, store, r2);
+  EXPECT_EQ(a.update.delta, b.update.delta);
+}
+
+}  // namespace
+}  // namespace papaya::fl

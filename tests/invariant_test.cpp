@@ -1,0 +1,196 @@
+// Randomized state-machine tests: drive the Aggregator with random event
+// sequences (joins, reports, failures, timeout sweeps) in both training
+// modes and check global invariants after every event.  This is the
+// property-style complement to the scenario tests in fl_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fl/aggregator.hpp"
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+namespace {
+
+struct DriverCase {
+  TrainingMode mode;
+  std::size_t concurrency;
+  std::size_t goal;
+  std::uint64_t seed;
+};
+
+class AggregatorDriver : public ::testing::TestWithParam<DriverCase> {};
+
+TEST_P(AggregatorDriver, InvariantsHoldUnderRandomEventSequences) {
+  const DriverCase param = GetParam();
+  util::Rng rng(param.seed);
+
+  Aggregator agg("a");
+  TaskConfig cfg;
+  cfg.name = "t";
+  cfg.mode = param.mode;
+  cfg.concurrency = param.concurrency;
+  cfg.aggregation_goal = param.goal;
+  cfg.model_size = 4;
+  cfg.max_staleness = 5;
+  cfg.client_timeout_s = 50.0;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {.lr = 0.05f});
+
+  std::set<std::uint64_t> joined;  // clients we believe are active
+  std::uint64_t next_client = 1;
+  double now = 0.0;
+  std::uint64_t last_version = 0;
+  std::map<std::uint64_t, std::uint64_t> join_version;
+
+  for (int event = 0; event < 2000; ++event) {
+    now += rng.uniform(0.0, 3.0);
+    const double action = rng.uniform();
+
+    if (action < 0.45) {
+      // Join attempt by a fresh client.
+      const std::uint64_t client = next_client++;
+      const JoinResult join = agg.client_join("t", client, now);
+      if (join.accepted) {
+        joined.insert(client);
+        join_version[client] = join.model_version;
+        EXPECT_EQ(join.model_version, agg.model_version("t"));
+      } else {
+        // A rejection must mean demand was exhausted.
+        EXPECT_LE(agg.client_demand("t"), 0);
+      }
+    } else if (action < 0.80 && !joined.empty()) {
+      // A random active client reports.
+      auto it = joined.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.uniform_int(joined.size())));
+      const std::uint64_t client = *it;
+      ModelUpdate u;
+      u.client_id = client;
+      u.initial_version = join_version[client];
+      u.num_examples = 1 + rng.uniform_int(20);
+      u.delta.assign(4, static_cast<float>(rng.normal()) * 0.1f);
+      const ReportResult r = agg.client_report("t", u.serialize(), now);
+      joined.erase(client);
+      for (const std::uint64_t aborted : r.aborted_clients) {
+        EXPECT_TRUE(joined.erase(aborted) == 1) << "abort of unknown client";
+      }
+      if (r.server_stepped) {
+        EXPECT_EQ(agg.model_version("t"), last_version + 1);
+        last_version = agg.model_version("t");
+      }
+    } else if (action < 0.90 && !joined.empty()) {
+      // A random active client fails.
+      auto it = joined.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.uniform_int(joined.size())));
+      agg.client_failed("t", *it, now);
+      joined.erase(it);
+    } else {
+      // Server timeout sweep.
+      for (const std::uint64_t expired : agg.expire_timeouts("t", now)) {
+        EXPECT_TRUE(joined.erase(expired) == 1);
+      }
+    }
+
+    // -- Global invariants -------------------------------------------------
+    // 1. The server's active set never exceeds concurrency (App. E.1).
+    EXPECT_LE(agg.active_clients("t"), param.concurrency);
+    // 2. Our mirror of the active set matches the server's.
+    EXPECT_EQ(agg.active_clients("t"), joined.size());
+    // 3. Demand is never negative and never exceeds the configured bound.
+    EXPECT_GE(agg.client_demand("t"), 0);
+    EXPECT_LE(agg.client_demand("t"),
+              static_cast<std::int64_t>(param.concurrency));
+    // 4. Version is monotone (checked via last_version above).
+    EXPECT_GE(agg.model_version("t"), last_version);
+    // 5. Counter consistency: applied + discarded <= received.
+    const TaskStats& stats = agg.stats("t");
+    EXPECT_LE(stats.updates_applied + stats.updates_discarded,
+              stats.updates_received);
+    // 6. Model stays finite.
+    for (const float v : agg.model("t")) EXPECT_TRUE(std::isfinite(v));
+  }
+
+  // The run must have made progress: at least some server steps happened.
+  EXPECT_GT(agg.stats("t").server_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AggregatorDriver,
+    ::testing::Values(DriverCase{TrainingMode::kAsync, 8, 3, 1},
+                      DriverCase{TrainingMode::kAsync, 20, 5, 2},
+                      DriverCase{TrainingMode::kAsync, 3, 1, 3},
+                      DriverCase{TrainingMode::kSync, 8, 6, 4},
+                      DriverCase{TrainingMode::kSync, 13, 10, 5},
+                      DriverCase{TrainingMode::kSync, 2, 2, 6}));
+
+TEST(AggregatorInvariants, SyncDiscardsNeverCountTowardGoal) {
+  // Drive many full sync rounds; every server step must consume exactly
+  // `goal` applied updates.
+  Aggregator agg("a");
+  TaskConfig cfg;
+  cfg.name = "t";
+  cfg.mode = TrainingMode::kSync;
+  cfg.aggregation_goal = 3;
+  cfg.concurrency = 4;  // one over-selected slot
+  cfg.model_size = 2;
+  agg.assign_task(cfg, std::vector<float>(2, 0.0f), {});
+
+  std::uint64_t client = 1;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> cohort;
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t c = client++;
+      ASSERT_TRUE(agg.client_join("t", c, 0.0).accepted);
+      cohort.push_back(c);
+    }
+    for (int i = 0; i < 3; ++i) {
+      ModelUpdate u;
+      u.client_id = cohort[static_cast<std::size_t>(i)];
+      u.initial_version = agg.model_version("t");
+      u.num_examples = 5;
+      u.delta = {0.01f, 0.01f};
+      agg.client_report("t", u.serialize(), 1.0);
+    }
+    EXPECT_EQ(agg.stats("t").server_steps, static_cast<std::uint64_t>(round + 1));
+    EXPECT_EQ(agg.stats("t").updates_applied,
+              static_cast<std::uint64_t>(3 * (round + 1)));
+  }
+}
+
+TEST(AggregatorInvariants, AsyncManyStepsKeepModelFinite) {
+  // Long async run with adversarially large deltas + DP clipping: the model
+  // must remain finite (clipping bounds each update's influence).
+  Aggregator agg("a");
+  TaskConfig cfg;
+  cfg.name = "t";
+  cfg.mode = TrainingMode::kAsync;
+  cfg.aggregation_goal = 2;
+  cfg.concurrency = 4;
+  cfg.model_size = 3;
+  cfg.dp.enabled = true;
+  cfg.dp.clip_norm = 1.0f;
+  agg.assign_task(cfg, std::vector<float>(3, 0.0f), {.lr = 0.1f});
+
+  util::Rng rng(3);
+  for (std::uint64_t c = 1; c <= 400; ++c) {
+    agg.client_join("t", c, 0.0);
+    ModelUpdate u;
+    u.client_id = c;
+    u.initial_version = agg.model_version("t");
+    u.num_examples = 1;
+    const float magnitude = rng.bernoulli(0.1) ? 1e8f : 0.1f;
+    u.delta.assign(3, magnitude * static_cast<float>(rng.normal()));
+    agg.client_report("t", u.serialize(), 1.0);
+  }
+  EXPECT_EQ(agg.stats("t").server_steps, 200u);
+  for (const float v : agg.model("t")) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 100.0f);
+  }
+}
+
+}  // namespace
+}  // namespace papaya::fl

@@ -1,0 +1,198 @@
+// Property tests for the verifiable log (App. C.2): inclusion proofs verify
+// for every leaf at every tree size, consistency proofs verify between all
+// snapshot pairs, and forged proofs are rejected.
+
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+
+namespace papaya::crypto {
+namespace {
+
+std::string record(std::uint64_t i) {
+  return "trusted-binary-v" + std::to_string(i);
+}
+
+TEST(VerifiableLog, EmptyLogRootIsHashOfEmptyString) {
+  VerifiableLog log;
+  EXPECT_EQ(log.snapshot().tree_size, 0u);
+  EXPECT_EQ(log.snapshot().root, Sha256::hash(std::string("")));
+}
+
+TEST(VerifiableLog, AppendReturnsSequentialIndices) {
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(log.append(record(i)), i);
+  EXPECT_EQ(log.size(), 10u);
+}
+
+TEST(VerifiableLog, RootChangesOnAppend) {
+  VerifiableLog log;
+  log.append(record(0));
+  const Digest r1 = log.snapshot().root;
+  log.append(record(1));
+  EXPECT_NE(r1, log.snapshot().root);
+}
+
+TEST(VerifiableLog, RootAtRecoversHistoricalRoots) {
+  VerifiableLog log;
+  std::vector<Digest> roots;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    log.append(record(i));
+    roots.push_back(log.snapshot().root);
+  }
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    EXPECT_EQ(log.root_at(n), roots[n - 1]);
+  }
+}
+
+/// Inclusion proofs must verify for every (leaf, tree size) combination.
+class InclusionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InclusionSweep, EveryLeafVerifies) {
+  const std::uint64_t n = GetParam();
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < n; ++i) log.append(record(i));
+  const LogSnapshot snap = log.snapshot();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const InclusionProof proof = log.prove_inclusion(i);
+    const Digest leaf = VerifiableLog::leaf_hash(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(record(i).data()),
+            record(i).size()));
+    EXPECT_TRUE(verify_inclusion(leaf, proof, snap))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, InclusionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 32, 33, 64, 100, 127));
+
+TEST(VerifiableLog, WrongLeafHashFailsInclusion) {
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(record(i));
+  const InclusionProof proof = log.prove_inclusion(3);
+  const Digest wrong_leaf = VerifiableLog::leaf_hash(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>("evil-binary"), 11));
+  EXPECT_FALSE(verify_inclusion(wrong_leaf, proof, log.snapshot()));
+}
+
+TEST(VerifiableLog, TamperedInclusionPathFails) {
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < 16; ++i) log.append(record(i));
+  InclusionProof proof = log.prove_inclusion(5);
+  ASSERT_FALSE(proof.path.empty());
+  proof.path[0][0] ^= 0x01;
+  const Digest leaf = VerifiableLog::leaf_hash(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(record(5).data()),
+          record(5).size()));
+  EXPECT_FALSE(verify_inclusion(leaf, proof, log.snapshot()));
+}
+
+TEST(VerifiableLog, ProofAgainstWrongSnapshotFails) {
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < 8; ++i) log.append(record(i));
+  const InclusionProof proof = log.prove_inclusion(2);
+  const LogSnapshot old_snap = {8, log.root_at(8)};
+  log.append(record(8));
+  const Digest leaf = VerifiableLog::leaf_hash(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(record(2).data()),
+          record(2).size()));
+  // Proof for size 8 fails against size-9 snapshot but passes old snapshot.
+  EXPECT_FALSE(verify_inclusion(leaf, proof, log.snapshot()));
+  EXPECT_TRUE(verify_inclusion(leaf, proof, old_snap));
+}
+
+TEST(VerifiableLog, ProveInclusionOutOfRangeThrows) {
+  VerifiableLog log;
+  log.append(record(0));
+  EXPECT_THROW(log.prove_inclusion(1), std::out_of_range);
+}
+
+/// Consistency proofs must verify between all (old, new) size pairs.
+class ConsistencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencySweep, AllPrefixPairsVerify) {
+  const std::uint64_t n = GetParam();
+  VerifiableLog log;
+  std::vector<LogSnapshot> snapshots;
+  snapshots.push_back(log.snapshot());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    log.append(record(i));
+    snapshots.push_back(log.snapshot());
+  }
+  for (std::uint64_t old_size = 0; old_size <= n; ++old_size) {
+    // Re-derive the proof from the final log (the log grew to n).
+    VerifiableLog full;
+    for (std::uint64_t i = 0; i < n; ++i) full.append(record(i));
+    const ConsistencyProof proof = full.prove_consistency(old_size);
+    EXPECT_TRUE(
+        verify_consistency(snapshots[old_size], snapshots[n], proof))
+        << "old " << old_size << " new " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, ConsistencySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33,
+                                           64, 100));
+
+TEST(VerifiableLog, ForkedLogFailsConsistency) {
+  // An operator that rewrites history cannot produce a valid consistency
+  // proof: build two logs sharing a prefix then diverging.
+  VerifiableLog honest, forked;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    honest.append(record(i));
+    forked.append(record(i));
+  }
+  const LogSnapshot old_snap = honest.snapshot();
+  honest.append(record(8));
+  forked.append("malicious-binary");
+
+  const ConsistencyProof honest_proof = honest.prove_consistency(8);
+  EXPECT_TRUE(verify_consistency(old_snap, honest.snapshot(), honest_proof));
+
+  const ConsistencyProof forked_proof = forked.prove_consistency(8);
+  // The forked log's proof verifies against its own head but the heads
+  // differ; and the forked proof must not verify the honest head.
+  EXPECT_FALSE(
+      verify_consistency(old_snap, honest.snapshot(), forked_proof) &&
+      forked.snapshot().root == honest.snapshot().root);
+}
+
+TEST(VerifiableLog, RewrittenLeafDetectedByConsistency) {
+  VerifiableLog log;
+  for (std::uint64_t i = 0; i < 10; ++i) log.append(record(i));
+  const LogSnapshot old_snap = log.snapshot();
+
+  // "Append-only" violation: a fresh log with leaf 3 replaced.
+  VerifiableLog rewritten;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rewritten.append(i == 3 ? std::string("backdoored") : record(i));
+  }
+  rewritten.append(record(10));
+  const ConsistencyProof proof = rewritten.prove_consistency(10);
+  EXPECT_FALSE(verify_consistency(old_snap, rewritten.snapshot(), proof));
+}
+
+TEST(VerifiableLog, ConsistencySameSizeRequiresSameRoot) {
+  VerifiableLog a, b;
+  a.append("x");
+  b.append("y");
+  const ConsistencyProof proof = a.prove_consistency(1);
+  EXPECT_TRUE(verify_consistency(a.snapshot(), a.snapshot(), proof));
+  EXPECT_FALSE(verify_consistency(b.snapshot(), a.snapshot(), proof));
+}
+
+TEST(VerifiableLog, ConsistencyFromEmptyLogAlwaysHolds) {
+  VerifiableLog log;
+  const LogSnapshot empty = log.snapshot();
+  for (std::uint64_t i = 0; i < 5; ++i) log.append(record(i));
+  const ConsistencyProof proof = log.prove_consistency(0);
+  EXPECT_TRUE(verify_consistency(empty, log.snapshot(), proof));
+}
+
+}  // namespace
+}  // namespace papaya::crypto

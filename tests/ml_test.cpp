@@ -1,0 +1,481 @@
+// Tests for the ML substrate: kernel correctness, finite-difference gradient
+// checks for both model architectures, optimizer behaviour, dataset
+// properties, and end-to-end trainability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/math.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace papaya::ml {
+namespace {
+
+// ------------------------------------------------------------------ Math --
+
+TEST(Math, MatvecKnownValues) {
+  // W = [[1,2],[3,4],[5,6]], x = [1,-1] -> y = [-1,-1,-1].
+  const std::vector<float> w{1, 2, 3, 4, 5, 6};
+  const std::vector<float> x{1, -1};
+  std::vector<float> y(3);
+  matvec(w, x, y, 3, 2);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f);
+  EXPECT_FLOAT_EQ(y[2], -1.0f);
+}
+
+TEST(Math, MatvecTransposedIsAdjoint) {
+  // Property: <Wx, y> == <x, W^T y> for random inputs.
+  util::Rng rng(1);
+  const std::size_t rows = 7, cols = 5;
+  std::vector<float> w(rows * cols), x(cols), y(rows), wx(rows), wty(cols);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  matvec(w, x, wx, rows, cols);
+  matvec_transposed(w, y, wty, rows, cols);
+  EXPECT_NEAR(dot(wx, y), dot(x, wty), 1e-4);
+}
+
+TEST(Math, SoftmaxSumsToOneAndIsStable) {
+  std::vector<float> x{1000.0f, 1000.0f, 999.0f};
+  softmax_in_place(x);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-6);
+  EXPECT_GT(x[0], x[2]);
+  EXPECT_FALSE(std::isnan(x[0]));
+}
+
+TEST(Math, LogSumExpMatchesNaiveForSmallValues) {
+  const std::vector<float> x{0.1f, 0.2f, 0.3f};
+  const double naive =
+      std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(log_sum_exp(x), naive, 1e-6);
+}
+
+TEST(Math, ClipNormScalesDownOnly) {
+  std::vector<float> x{3.0f, 4.0f};  // norm 5
+  clip_norm(x, 10.0f);
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  clip_norm(x, 1.0f);
+  EXPECT_NEAR(norm(x), 1.0f, 1e-6);
+}
+
+// -------------------------------------------------------- Gradient checks --
+
+/// Central-difference gradient check over a random subset of parameters.
+void check_gradients(LanguageModel& model, std::span<const Sequence> batch,
+                     double tolerance) {
+  std::vector<float> grad(model.num_params());
+  model.loss(batch, grad);
+
+  util::Rng rng(7);
+  const float eps = 1e-3f;
+  const std::size_t checks = std::min<std::size_t>(60, model.num_params());
+  for (std::size_t c = 0; c < checks; ++c) {
+    const std::size_t i = rng.uniform_int(model.num_params());
+    const float saved = model.params()[i];
+    model.params()[i] = saved + eps;
+    const double up = model.loss(batch, {});
+    model.params()[i] = saved - eps;
+    const double down = model.loss(batch, {});
+    model.params()[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric,
+                tolerance * std::max(1.0, std::fabs(numeric)))
+        << "param " << i;
+  }
+}
+
+std::vector<Sequence> tiny_batch() {
+  return {{0, 3, 1, 4, 1, 5}, {2, 7, 1, 0}, {5, 5, 5}};
+}
+
+TEST(MlpLm, GradientsMatchFiniteDifferences) {
+  LmConfig cfg;
+  cfg.vocab_size = 8;
+  cfg.embed_dim = 5;
+  cfg.hidden_dim = 6;
+  cfg.context = 2;
+  util::Rng rng(11);
+  auto model = make_mlp_lm(cfg, rng);
+  const auto batch = tiny_batch();
+  check_gradients(*model, batch, 2e-2);
+}
+
+TEST(LstmLm, GradientsMatchFiniteDifferences) {
+  LmConfig cfg;
+  cfg.vocab_size = 8;
+  cfg.embed_dim = 4;
+  cfg.hidden_dim = 5;
+  util::Rng rng(12);
+  auto model = make_lstm_lm(cfg, rng);
+  const auto batch = tiny_batch();
+  check_gradients(*model, batch, 2e-2);
+}
+
+TEST(LanguageModel, LossIsLogVocabAtInit) {
+  // With near-zero init, predictions are near-uniform: loss ~ log(V).
+  LmConfig cfg;
+  cfg.vocab_size = 32;
+  util::Rng rng(13);
+  for (auto factory : {&make_mlp_lm, &make_lstm_lm}) {
+    auto model = factory(cfg, rng);
+    const auto batch = std::vector<Sequence>{{1, 2, 3, 4, 5, 6, 7, 8}};
+    EXPECT_NEAR(model->loss(batch, {}), std::log(32.0), 0.2);
+  }
+}
+
+TEST(LanguageModel, PerplexityIsExpOfLoss) {
+  LmConfig cfg;
+  cfg.vocab_size = 16;
+  util::Rng rng(14);
+  auto model = make_mlp_lm(cfg, rng);
+  const auto batch = std::vector<Sequence>{{1, 2, 3, 4}};
+  EXPECT_NEAR(model->perplexity(batch), std::exp(model->loss(batch, {})), 1e-6);
+}
+
+TEST(LanguageModel, EmptyAndSingletonSequencesContributeNothing) {
+  LmConfig cfg;
+  cfg.vocab_size = 16;
+  util::Rng rng(15);
+  auto model = make_mlp_lm(cfg, rng);
+  const std::vector<Sequence> batch{{}, {3}};
+  EXPECT_DOUBLE_EQ(model->loss(batch, {}), 0.0);
+  EXPECT_EQ(LanguageModel::num_predictions(batch), 0u);
+}
+
+TEST(LanguageModel, OutOfVocabTokenThrows) {
+  LmConfig cfg;
+  cfg.vocab_size = 8;
+  util::Rng rng(16);
+  auto model = make_mlp_lm(cfg, rng);
+  const std::vector<Sequence> batch{{1, 99}};
+  EXPECT_THROW(model->loss(batch, {}), std::out_of_range);
+}
+
+TEST(LanguageModel, CloneIsIndependentDeepCopy) {
+  LmConfig cfg;
+  cfg.vocab_size = 8;
+  util::Rng rng(17);
+  auto model = make_lstm_lm(cfg, rng);
+  auto copy = model->clone();
+  copy->params()[0] += 1.0f;
+  EXPECT_NE(model->params()[0], copy->params()[0]);
+}
+
+TEST(LanguageModel, TrainingReducesLossOnFixedBatch) {
+  // Overfit check for both architectures: SGD on one batch must drive the
+  // loss well below the uniform baseline.
+  LmConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  util::Rng rng(18);
+  const std::vector<Sequence> batch{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+                                    {11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}};
+  for (auto factory : {&make_mlp_lm, &make_lstm_lm}) {
+    auto model = factory(cfg, rng);
+    const double initial = model->loss(batch, {});
+    std::vector<float> grad(model->num_params());
+    Adam adam(model->num_params(), {.lr = 0.05f});
+    for (int step = 0; step < 400; ++step) {
+      model->loss(batch, grad);
+      adam.step(model->params(), grad);
+    }
+    const double final_loss = model->loss(batch, {});
+    EXPECT_LT(final_loss, initial * 0.5);
+  }
+}
+
+// -------------------------------------------------------------- Optimizers --
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  std::vector<float> params{1.0f, 2.0f};
+  std::vector<float> grad{0.5f, -0.5f};
+  const Sgd sgd(0.1f);
+  sgd.step(params, grad);
+  EXPECT_FLOAT_EQ(params[0], 0.95f);
+  EXPECT_FLOAT_EQ(params[1], 2.05f);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, Adam's first step has magnitude ~lr regardless of
+  // gradient scale.
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    Adam adam(1, {.lr = 0.1f});
+    std::vector<float> params{0.0f};
+    const std::vector<float> grad{scale};
+    adam.step(params, grad);
+    EXPECT_NEAR(params[0], -0.1f, 1e-3) << "scale " << scale;
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam(1, {.lr = 0.1f});
+  std::vector<float> params{5.0f};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<float> grad{2.0f * params[0]};  // d/dx x^2
+    adam.step(params, grad);
+  }
+  EXPECT_NEAR(params[0], 0.0f, 0.05f);
+}
+
+TEST(FedAdam, AppliesDeltaInItsDirection) {
+  // A positive aggregated delta must move parameters up (FedAdam adds).
+  FedAdam opt(2, {.lr = 0.1f});
+  std::vector<float> params{0.0f, 0.0f};
+  const std::vector<float> delta{1.0f, -1.0f};
+  opt.step(params, delta);
+  EXPECT_GT(params[0], 0.0f);
+  EXPECT_LT(params[1], 0.0f);
+}
+
+TEST(FedAdam, SizeMismatchThrows) {
+  FedAdam opt(2, {});
+  std::vector<float> params{0.0f, 0.0f};
+  const std::vector<float> delta{1.0f};
+  EXPECT_THROW(opt.step(params, delta), std::invalid_argument);
+}
+
+TEST(FedAdam, RepeatedStepsTrackConstantDelta) {
+  FedAdam opt(1, {.lr = 0.01f});
+  std::vector<float> params{0.0f};
+  for (int i = 0; i < 100; ++i) opt.step(params, std::vector<float>{0.5f});
+  EXPECT_GT(params[0], 0.5f);  // accumulated movement in delta direction
+}
+
+// -------------------------------------------------- ServerOptimizer family --
+
+TEST(ServerOptimizer, FedAdamKindMatchesFedAdamClassExactly) {
+  // The unified optimizer must be a drop-in replacement for the original
+  // FedAdam: identical trajectories on an identical delta sequence.
+  FedAdam reference(3, {.lr = 0.05f, .beta1 = 0.8f});
+  ServerOptimizer unified(
+      3, {.kind = ServerOptimizerKind::kFedAdam, .lr = 0.05f, .beta1 = 0.8f});
+  std::vector<float> p1{0.1f, -0.2f, 0.3f};
+  std::vector<float> p2 = p1;
+  for (int s = 0; s < 20; ++s) {
+    const std::vector<float> delta{0.1f * s, -0.05f, 0.5f - 0.04f * s};
+    reference.step(p1, delta);
+    unified.step(p2, delta);
+  }
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_FLOAT_EQ(p1[i], p2[i]);
+}
+
+TEST(ServerOptimizer, FedSgdIsExactlyLrTimesDelta) {
+  ServerOptimizer opt(2, {.kind = ServerOptimizerKind::kFedSgd, .lr = 0.5f});
+  std::vector<float> params{1.0f, 2.0f};
+  opt.step(params, std::vector<float>{0.2f, -0.4f});
+  EXPECT_FLOAT_EQ(params[0], 1.1f);
+  EXPECT_FLOAT_EQ(params[1], 1.8f);
+}
+
+TEST(ServerOptimizer, FedAvgMAcceleratesUnderConstantDelta) {
+  // Heavy-ball momentum: with a constant delta, each step is larger than
+  // the last (until the geometric series saturates).
+  ServerOptimizer opt(1, {.kind = ServerOptimizerKind::kFedAvgM,
+                          .lr = 0.1f,
+                          .beta1 = 0.9f});
+  std::vector<float> params{0.0f};
+  const std::vector<float> delta{1.0f};
+  opt.step(params, delta);
+  const float first = params[0];
+  opt.step(params, delta);
+  const float second = params[0] - first;
+  EXPECT_GT(second, first);
+}
+
+TEST(ServerOptimizer, FedAdagradStepSizeDecays) {
+  // Adagrad's accumulated v makes successive steps under a constant delta
+  // strictly smaller.
+  ServerOptimizer opt(1, {.kind = ServerOptimizerKind::kFedAdagrad,
+                          .lr = 0.1f,
+                          .beta1 = 0.0f});
+  std::vector<float> params{0.0f};
+  const std::vector<float> delta{1.0f};
+  float prev = 0.0f;
+  float prev_step = std::numeric_limits<float>::infinity();
+  for (int s = 0; s < 5; ++s) {
+    opt.step(params, delta);
+    const float step = params[0] - prev;
+    EXPECT_LT(step, prev_step);
+    prev = params[0];
+    prev_step = step;
+  }
+}
+
+TEST(ServerOptimizer, FedYogiSecondMomentMovesTowardDeltaSquared) {
+  // Yogi's v update v -= (1-b2) d^2 sign(v - d^2) moves v toward d^2 by a
+  // bounded amount each step; under a constant delta the step size
+  // stabilizes instead of decaying like Adagrad.
+  ServerOptimizer yogi(1, {.kind = ServerOptimizerKind::kFedYogi,
+                           .lr = 0.1f,
+                           .beta1 = 0.0f,
+                           .beta2 = 0.9f});
+  ServerOptimizer adagrad(1, {.kind = ServerOptimizerKind::kFedAdagrad,
+                              .lr = 0.1f,
+                              .beta1 = 0.0f});
+  std::vector<float> py{0.0f}, pa{0.0f};
+  const std::vector<float> delta{1.0f};
+  for (int s = 0; s < 50; ++s) {
+    yogi.step(py, delta);
+    adagrad.step(pa, delta);
+  }
+  // Yogi's v converges to d^2 = 1 so its per-step movement stays ~lr/(1+tau);
+  // Adagrad's v grows to 50 so it has slowed to ~lr/sqrt(50).
+  EXPECT_GT(py[0], pa[0]);
+}
+
+TEST(ServerOptimizer, SizeMismatchThrows) {
+  ServerOptimizer opt(2, {});
+  std::vector<float> params{0.0f, 0.0f};
+  EXPECT_THROW(opt.step(params, std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+TEST(ServerOptimizer, StepsTakenCounts) {
+  ServerOptimizer opt(1, {.kind = ServerOptimizerKind::kFedSgd});
+  std::vector<float> params{0.0f};
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  opt.step(params, std::vector<float>{1.0f});
+  opt.step(params, std::vector<float>{1.0f});
+  EXPECT_EQ(opt.steps_taken(), 2u);
+}
+
+TEST(ServerOptimizer, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(ServerOptimizerKind::kFedSgd), "FedSGD");
+  EXPECT_STREQ(to_string(ServerOptimizerKind::kFedAvgM), "FedAvgM");
+  EXPECT_STREQ(to_string(ServerOptimizerKind::kFedAdagrad), "FedAdagrad");
+  EXPECT_STREQ(to_string(ServerOptimizerKind::kFedAdam), "FedAdam");
+  EXPECT_STREQ(to_string(ServerOptimizerKind::kFedYogi), "FedYogi");
+}
+
+/// Every member of the family must move parameters in the delta's direction
+/// and drive a 1-D quadratic toward its optimum when fed true deltas.
+class ServerOptimizerSweep
+    : public ::testing::TestWithParam<ServerOptimizerKind> {};
+
+TEST_P(ServerOptimizerSweep, MovesInDeltaDirection) {
+  ServerOptimizer opt(2, {.kind = GetParam(), .lr = 0.05f});
+  std::vector<float> params{0.0f, 0.0f};
+  opt.step(params, std::vector<float>{1.0f, -1.0f});
+  EXPECT_GT(params[0], 0.0f);
+  EXPECT_LT(params[1], 0.0f);
+}
+
+TEST_P(ServerOptimizerSweep, DrivesQuadraticTowardOptimum) {
+  // Pseudo-gradient of f(w) = (w - 3)^2 is -(df/dw) = 2 (3 - w): feeding the
+  // descent direction as the "aggregated delta" must approach w = 3.
+  // Adagrad's 1/sqrt(sum d^2) decay needs a larger lr to cover the same
+  // distance in the same number of steps.
+  const float lr = GetParam() == ServerOptimizerKind::kFedAdagrad ? 0.2f : 0.02f;
+  ServerOptimizer opt(1, {.kind = GetParam(), .lr = lr});
+  std::vector<float> w{0.0f};
+  for (int s = 0; s < 800; ++s) {
+    const std::vector<float> delta{2.0f * (3.0f - w[0])};
+    opt.step(w, delta);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 0.2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ServerOptimizerSweep,
+                         ::testing::Values(ServerOptimizerKind::kFedSgd,
+                                           ServerOptimizerKind::kFedAvgM,
+                                           ServerOptimizerKind::kFedAdagrad,
+                                           ServerOptimizerKind::kFedAdam,
+                                           ServerOptimizerKind::kFedYogi));
+
+// ----------------------------------------------------------------- Dataset --
+
+TEST(FederatedCorpus, DeterministicPerClient) {
+  const CorpusConfig cfg;
+  FederatedCorpus corpus(cfg, 99);
+  const auto a = corpus.client_dataset(7, 20);
+  const auto b = corpus.client_dataset(7, 20);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i], b.train[i]);
+  }
+}
+
+TEST(FederatedCorpus, DifferentClientsDifferentData) {
+  const CorpusConfig cfg;
+  FederatedCorpus corpus(cfg, 99);
+  const auto a = corpus.client_dataset(1, 20);
+  const auto b = corpus.client_dataset(2, 20);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(FederatedCorpus, SplitCoversAllExamples) {
+  const CorpusConfig cfg;
+  FederatedCorpus corpus(cfg, 99);
+  const auto d = corpus.client_dataset(3, 100);
+  EXPECT_EQ(d.train.size() + d.validation.size() + d.test.size(), 100u);
+  EXPECT_GT(d.train.size(), 60u);  // ~80%
+  EXPECT_FALSE(d.train.empty());
+}
+
+TEST(FederatedCorpus, TokensWithinVocabulary) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 32;
+  FederatedCorpus corpus(cfg, 5);
+  const auto d = corpus.client_dataset(0, 50);
+  for (const auto& seq : d.train) {
+    for (const auto tok : seq) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, 32);
+    }
+  }
+}
+
+TEST(FederatedCorpus, SequenceLengthsWithinConfiguredRange) {
+  CorpusConfig cfg;
+  cfg.seq_len_min = 5;
+  cfg.seq_len_max = 9;
+  FederatedCorpus corpus(cfg, 6);
+  const auto d = corpus.client_dataset(0, 50);
+  for (const auto& seq : d.train) {
+    EXPECT_GE(seq.size(), 5u);
+    EXPECT_LE(seq.size(), 9u);
+  }
+}
+
+TEST(FederatedCorpus, CorpusIsLearnable) {
+  // The synthetic corpus must have enough structure that training on it
+  // beats the uniform baseline on *held-out* data.
+  CorpusConfig cfg;
+  cfg.vocab_size = 32;
+  FederatedCorpus corpus(cfg, 123);
+  LmConfig mcfg;
+  mcfg.vocab_size = 32;
+  mcfg.embed_dim = 12;
+  mcfg.hidden_dim = 24;
+  mcfg.context = 2;
+  util::Rng rng(21);
+  auto model = make_mlp_lm(mcfg, rng);
+
+  std::vector<Sequence> train;
+  for (std::uint64_t c = 0; c < 8; ++c) {
+    auto d = corpus.client_dataset(c, 40);
+    train.insert(train.end(), d.train.begin(), d.train.end());
+  }
+  const auto test = corpus.global_test_set(100);
+  const double baseline = model->loss(test, {});
+
+  std::vector<float> grad(model->num_params());
+  Adam adam(model->num_params(), {.lr = 0.03f});
+  for (int step = 0; step < 200; ++step) {
+    model->loss(train, grad);
+    adam.step(model->params(), grad);
+  }
+  const double trained = model->loss(test, {});
+  EXPECT_LT(trained, baseline - 0.3);
+}
+
+}  // namespace
+}  // namespace papaya::ml

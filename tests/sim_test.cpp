@@ -1,0 +1,259 @@
+// Tests for the simulation substrate: event-queue ordering, population
+// distribution properties (the Fig. 2 / Sec. 7.4 requirements), network
+// model, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/event_queue.hpp"
+#include "sim/fl_simulator.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/population.hpp"
+#include "util/stats.hpp"
+
+namespace papaya::sim {
+namespace {
+
+// ------------------------------------------------------------ Event queue --
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&](double) { order.push_back(3); });
+  q.schedule_at(1.0, [&](double) { order.push_back(1); });
+  q.schedule_at(2.0, [&](double) { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i](double) { order.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(double)> tick = [&](double) {
+    if (++count < 10) q.schedule_in(1.0, tick);
+  };
+  q.schedule_at(0.0, tick);
+  while (q.step()) {
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&](double) { ++ran; });
+  q.schedule_at(100.0, [&](double) { ++ran; });
+  q.run_until(10.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilHonoursStopPredicate) {
+  EventQueue q;
+  int ran = 0;
+  bool stop = false;
+  q.schedule_at(1.0, [&](double) {
+    ++ran;
+    stop = true;
+  });
+  q.schedule_at(2.0, [&](double) { ++ran; });
+  q.run_until(10.0, [&] { return stop; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [](double) {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(1.0, [](double) {}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Population --
+
+PopulationConfig default_population(std::size_t n = 20000) {
+  PopulationConfig cfg;
+  cfg.num_devices = n;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Population, ExecutionTimesSpanTwoOrdersOfMagnitude) {
+  // The Fig. 2 requirement.
+  const DevicePopulation pop(default_population());
+  std::vector<double> times;
+  times.reserve(pop.size());
+  for (const auto& d : pop.devices()) times.push_back(d.mean_exec_time_s);
+  const double p1 = util::percentile(times, 1.0);
+  const double p99 = util::percentile(times, 99.0);
+  EXPECT_GT(p99 / p1, 100.0);
+}
+
+TEST(Population, SlownessCorrelatesWithExampleCount) {
+  // The Sec. 7.4 requirement: "very high correlation between slow devices
+  // and devices with many training samples".
+  const DevicePopulation pop(default_population());
+  std::vector<double> slowness, examples;
+  for (const auto& d : pop.devices()) {
+    slowness.push_back(std::log(d.hardware_factor));
+    examples.push_back(static_cast<double>(d.num_examples));
+  }
+  EXPECT_GT(util::pearson(slowness, examples), 0.6);
+}
+
+TEST(Population, ExampleCountsWithinRange) {
+  PopulationConfig cfg = default_population(5000);
+  cfg.min_examples = 3;
+  cfg.max_examples = 17;
+  const DevicePopulation pop(cfg);
+  for (const auto& d : pop.devices()) {
+    EXPECT_GE(d.num_examples, 3u);
+    EXPECT_LE(d.num_examples, 17u);
+  }
+}
+
+TEST(Population, DeterministicFromSeed) {
+  const DevicePopulation a(default_population(100));
+  const DevicePopulation b(default_population(100));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.device(i).mean_exec_time_s, b.device(i).mean_exec_time_s);
+    EXPECT_EQ(a.device(i).num_examples, b.device(i).num_examples);
+  }
+}
+
+TEST(Population, SampledExecTimeJittersAroundMean) {
+  const DevicePopulation pop(default_population(10));
+  util::Rng rng(9);
+  const auto& d = pop.device(0);
+  util::RunningStat stat;
+  for (int i = 0; i < 2000; ++i) {
+    stat.add(pop.sample_exec_time(0, rng));
+  }
+  // Log-normal jitter with sigma 0.2: mean ~ mean_exec * exp(0.02).
+  EXPECT_NEAR(stat.mean(), d.mean_exec_time_s * std::exp(0.02),
+              0.05 * d.mean_exec_time_s);
+}
+
+TEST(Population, ZeroCorrelationDecouplesExamples) {
+  PopulationConfig cfg = default_population(20000);
+  cfg.slowness_example_correlation = 0.0;
+  const DevicePopulation pop(cfg);
+  std::vector<double> slowness, examples;
+  for (const auto& d : pop.devices()) {
+    slowness.push_back(std::log(d.hardware_factor));
+    examples.push_back(static_cast<double>(d.num_examples));
+  }
+  EXPECT_NEAR(util::pearson(slowness, examples), 0.0, 0.05);
+}
+
+TEST(Population, InvalidConfigThrows) {
+  PopulationConfig cfg = default_population(0);
+  EXPECT_THROW(DevicePopulation{cfg}, std::invalid_argument);
+  cfg = default_population(10);
+  cfg.min_examples = 10;
+  cfg.max_examples = 5;
+  EXPECT_THROW(DevicePopulation{cfg}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Network --
+
+TEST(Network, LargerTransfersTakeLonger) {
+  NetworkModel net({});
+  util::Rng rng(10);
+  double small = 0.0, large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    small += net.download_time_s(100'000, rng);
+    large += net.download_time_s(10'000'000, rng);
+  }
+  EXPECT_GT(large, small);
+}
+
+TEST(Network, IncludesRtt) {
+  NetworkConfig cfg;
+  cfg.rtt_s = 2.0;
+  NetworkModel net(cfg);
+  util::Rng rng(11);
+  EXPECT_GE(net.download_time_s(1, rng), 2.0);
+}
+
+// ----------------------------------------------------------------- Metrics --
+
+TEST(TimeSeries, ValueAtReturnsLastValueAtOrBefore) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(2.0, 20.0);
+  ts.add(4.0, 40.0);
+  EXPECT_TRUE(std::isnan(ts.value_at(0.5)));
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(3.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(100.0), 40.0);
+}
+
+// -------------------------------------------------------------- Model store --
+
+SimulationConfig store_config() {
+  SimulationConfig cfg;
+  cfg.task.name = "lm";
+  cfg.task.mode = fl::TrainingMode::kAsync;
+  cfg.task.concurrency = 12;
+  cfg.task.aggregation_goal = 2;
+  cfg.population.num_devices = 100;
+  cfg.corpus.vocab_size = 32;
+  cfg.model.vocab_size = 32;
+  cfg.model.embed_dim = 6;
+  cfg.model.hidden_dim = 8;
+  cfg.trainer.compute_losses = false;
+  cfg.max_server_steps = 20;
+  cfg.eval_every_steps = 10;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Simulator, UnconstrainedModelStoreNeverStalls) {
+  SimulationConfig cfg = store_config();
+  FlSimulator simulator(cfg);
+  const auto result = simulator.run();
+  EXPECT_EQ(result.model_store_stats.writes, result.server_steps);
+  EXPECT_DOUBLE_EQ(result.model_store_stats.stall_s, 0.0);
+}
+
+TEST(Simulator, TightModelStoreAccumulatesStall) {
+  // Model is ~10^4 bytes; at 10 B/s each publish takes ~10^3 s while steps
+  // land every few sim-seconds — the Sec. 7.3 pressure must register.
+  SimulationConfig cfg = store_config();
+  cfg.model_store.write_bandwidth_bytes_per_s = 10.0;
+  FlSimulator simulator(cfg);
+  const auto result = simulator.run();
+  EXPECT_EQ(result.model_store_stats.writes, result.server_steps);
+  EXPECT_GT(result.model_store_stats.stall_s, 0.0);
+  EXPECT_GT(result.model_store_stats.bytes_written, 0u);
+}
+
+TEST(Simulator, ModelStoreDoesNotPerturbTraining) {
+  // Metering is observational: identical seeds converge to bit-identical
+  // models regardless of store bandwidth.
+  SimulationConfig cfg = store_config();
+  FlSimulator unconstrained(cfg);
+  cfg.model_store.write_bandwidth_bytes_per_s = 10.0;
+  FlSimulator constrained(cfg);
+  EXPECT_EQ(unconstrained.run().final_model, constrained.run().final_model);
+}
+
+}  // namespace
+}  // namespace papaya::sim

@@ -1,0 +1,491 @@
+// Parameterized property sweeps across modules: chunked uploads,
+// fixed-point conversion, Diffie–Hellman, authenticated encryption, the
+// verifiable log, one-time pads, and Aggregator invariants over the
+// (mode, concurrency, aggregation-goal) grid.  Each sweep states one
+// invariant and exercises it across a parameter lattice.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "crypto/auth_enc.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/merkle.hpp"
+#include "fl/aggregator.hpp"
+#include "fl/chunking.hpp"
+#include "fl/coordinator.hpp"
+#include "fl/model_update.hpp"
+#include "secagg/fixed_point.hpp"
+#include "secagg/otp.hpp"
+#include "util/rng.hpp"
+
+namespace papaya {
+namespace {
+
+// ------------------------------------------------------------- Chunking ----
+
+class ChunkingSweep : public ::testing::TestWithParam<
+                          std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ChunkingSweep, RoundTripsInAnyDeliveryOrder) {
+  const auto [payload_size, chunk_size] = GetParam();
+  util::Rng rng(payload_size * 31 + chunk_size);
+  util::Bytes payload(payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  auto chunks = fl::chunk_upload(7, payload, chunk_size);
+  const std::size_t expected_chunks =
+      payload_size == 0 ? 1 : (payload_size + chunk_size - 1) / chunk_size;
+  EXPECT_EQ(chunks.size(), expected_chunks);
+
+  // Deliver in reverse order, each chunk duplicated once.
+  fl::ChunkAssembler assembler(7);
+  std::reverse(chunks.begin(), chunks.end());
+  for (const auto& c : chunks) {
+    const auto first = assembler.accept(c);
+    EXPECT_TRUE(first == fl::ChunkAssembler::Accept::kAccepted ||
+                first == fl::ChunkAssembler::Accept::kComplete);
+    EXPECT_EQ(assembler.accept(c), fl::ChunkAssembler::Accept::kDuplicate);
+  }
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(*assembler.assemble(), payload);
+}
+
+TEST_P(ChunkingSweep, WireFormatSurvivesSerialization) {
+  const auto [payload_size, chunk_size] = GetParam();
+  util::Rng rng(payload_size * 57 + chunk_size);
+  util::Bytes payload(payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  fl::ChunkAssembler assembler(9);
+  for (const auto& c : fl::chunk_upload(9, payload, chunk_size)) {
+    const fl::UploadChunk wire = fl::UploadChunk::deserialize(c.serialize());
+    const auto accept = assembler.accept(wire);
+    EXPECT_TRUE(accept == fl::ChunkAssembler::Accept::kAccepted ||
+                accept == fl::ChunkAssembler::Accept::kComplete);
+  }
+  EXPECT_EQ(*assembler.assemble(), payload);
+}
+
+TEST_P(ChunkingSweep, CorruptionOfEveryChunkIsDetected) {
+  const auto [payload_size, chunk_size] = GetParam();
+  if (payload_size == 0) GTEST_SKIP() << "empty payloads carry no bytes";
+  util::Rng rng(payload_size * 91 + chunk_size);
+  util::Bytes payload(payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  const auto chunks = fl::chunk_upload(3, payload, chunk_size);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    fl::UploadChunk corrupted = chunks[i];
+    corrupted.payload[corrupted.payload.size() / 2] ^= 0x40;
+    fl::ChunkAssembler assembler(3);
+    EXPECT_EQ(assembler.accept(corrupted),
+              fl::ChunkAssembler::Accept::kCorrupt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ChunkingSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 63, 64, 65, 1000),
+                       ::testing::Values<std::size_t>(1, 16, 64, 256)));
+
+TEST(Chunking, CorruptChunkRetransmissionCompletesUpload) {
+  // The Sec. 6.1 resilience story: a corrupt chunk costs one retransmission,
+  // not the whole upload.
+  util::Bytes payload(300);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto chunks = fl::chunk_upload(5, payload, 100);
+  ASSERT_EQ(chunks.size(), 3u);
+
+  fl::ChunkAssembler assembler(5);
+  EXPECT_EQ(assembler.accept(chunks[0]), fl::ChunkAssembler::Accept::kAccepted);
+  fl::UploadChunk corrupted = chunks[1];
+  corrupted.payload[0] ^= 0xff;
+  EXPECT_EQ(assembler.accept(corrupted), fl::ChunkAssembler::Accept::kCorrupt);
+  EXPECT_FALSE(assembler.complete());
+  // Retransmit the clean chunk; the upload completes normally.
+  EXPECT_EQ(assembler.accept(chunks[1]), fl::ChunkAssembler::Accept::kAccepted);
+  EXPECT_EQ(assembler.accept(chunks[2]), fl::ChunkAssembler::Accept::kComplete);
+  EXPECT_EQ(*assembler.assemble(), payload);
+}
+
+// ---------------------------------------------------------- Fixed point ----
+
+class FixedPointSweep : public ::testing::TestWithParam<
+                            std::tuple<double, std::size_t>> {};
+
+TEST_P(FixedPointSweep, AggregatedSumDecodesWithinResolution) {
+  const auto [magnitude, num_updates] = GetParam();
+  const auto params =
+      secagg::FixedPointParams::for_budget(magnitude, num_updates);
+  util::Rng rng(static_cast<std::uint64_t>(magnitude * 100) + num_updates);
+
+  constexpr std::size_t kLen = 32;
+  // Reference sum in double so the check isolates fixed-point error from
+  // float32 accumulation error.
+  std::vector<double> true_sum(kLen, 0.0);
+  secagg::GroupVec encoded_sum(kLen, 0);
+  for (std::size_t u = 0; u < num_updates; ++u) {
+    std::vector<float> v(kLen);
+    for (auto& x : v) {
+      x = static_cast<float>(rng.uniform(-magnitude, magnitude));
+    }
+    for (std::size_t i = 0; i < kLen; ++i) true_sum[i] += v[i];
+    secagg::add_in_place(encoded_sum, secagg::encode(v, params));
+  }
+
+  const std::vector<float> decoded = secagg::decode(encoded_sum, params);
+  // Each encode rounds to 1/(2*scale); rounding errors add across updates,
+  // and the float32 result carries its own representation error.
+  for (std::size_t i = 0; i < kLen; ++i) {
+    const double tolerance = static_cast<double>(num_updates) / params.scale +
+                             std::abs(true_sum[i]) * 1e-6 + 1e-6;
+    EXPECT_NEAR(decoded[i], true_sum[i], tolerance) << "element " << i;
+  }
+}
+
+TEST_P(FixedPointSweep, BudgetLeavesSafetyMargin) {
+  const auto [magnitude, num_updates] = GetParam();
+  const auto params =
+      secagg::FixedPointParams::for_budget(magnitude, num_updates);
+  EXPECT_GE(params.max_aggregatable_magnitude(),
+            magnitude * static_cast<double>(num_updates) * 2.0 * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, FixedPointSweep,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 10.0, 100.0),
+                       ::testing::Values<std::size_t>(1, 10, 100, 1000)));
+
+// -------------------------------------------------------------------- DH ----
+
+class DhSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DhSweep, BothSidesDeriveTheSameKey) {
+  const auto [group, seed] = GetParam();
+  const crypto::DhParams& params = group == 0
+                                       ? crypto::DhParams::simulation256()
+                                       : crypto::DhParams::rfc3526_1536();
+  util::Bytes seed_a{static_cast<std::uint8_t>(seed), 1};
+  util::Bytes seed_b{static_cast<std::uint8_t>(seed), 2};
+  crypto::DhRandom ra(seed_a), rb(seed_b);
+  const auto alice = crypto::dh_generate(params, ra);
+  const auto bob = crypto::dh_generate(params, rb);
+
+  const auto shared_a =
+      crypto::dh_shared_element(params, alice.private_key, bob.public_key);
+  const auto shared_b =
+      crypto::dh_shared_element(params, bob.private_key, alice.public_key);
+  EXPECT_EQ(shared_a, shared_b);
+
+  const auto key_a = crypto::dh_derive_key(params, shared_a, "label");
+  const auto key_b = crypto::dh_derive_key(params, shared_b, "label");
+  EXPECT_EQ(key_a, key_b);
+  // Different protocol labels must give unrelated keys.
+  EXPECT_NE(key_a, crypto::dh_derive_key(params, shared_a, "other-label"));
+}
+
+TEST_P(DhSweep, DistinctPartiesDistinctSecrets) {
+  const auto [group, seed] = GetParam();
+  const crypto::DhParams& params = group == 0
+                                       ? crypto::DhParams::simulation256()
+                                       : crypto::DhParams::rfc3526_1536();
+  util::Bytes seed_a{static_cast<std::uint8_t>(seed), 10};
+  util::Bytes seed_b{static_cast<std::uint8_t>(seed), 20};
+  util::Bytes seed_c{static_cast<std::uint8_t>(seed), 30};
+  crypto::DhRandom ra(seed_a), rb(seed_b), rc(seed_c);
+  const auto a = crypto::dh_generate(params, ra);
+  const auto b = crypto::dh_generate(params, rb);
+  const auto c = crypto::dh_generate(params, rc);
+  EXPECT_NE(crypto::dh_shared_element(params, a.private_key, b.public_key),
+            crypto::dh_shared_element(params, a.private_key, c.public_key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, DhSweep,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(1, 2, 3)));
+
+// ------------------------------------------------------ Authenticated enc ----
+
+class AuthEncSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AuthEncSweep, RoundTripsAndRejectsEveryTamperRegion) {
+  const std::size_t size = GetParam();
+  crypto::Digest key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 7 + size);
+  }
+  util::Rng rng(size);
+  util::Bytes plaintext(size);
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next());
+  const util::Bytes ad{0xaa, 0xbb};
+
+  const auto box = crypto::seal(key, 5, plaintext, ad);
+  const auto opened = crypto::open(key, 5, box, ad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+
+  // Wrong sequence number, wrong AD, wrong key: all rejected.
+  EXPECT_FALSE(crypto::open(key, 6, box, ad).has_value());
+  EXPECT_FALSE(crypto::open(key, 5, box, {}).has_value());
+  crypto::Digest wrong_key = key;
+  wrong_key[0] ^= 1;
+  EXPECT_FALSE(crypto::open(wrong_key, 5, box, ad).has_value());
+
+  // Flipping any single byte region — nonce, body, tag — must be caught.
+  for (const std::size_t pos :
+       {std::size_t{0}, box.ciphertext.size() / 2, box.ciphertext.size() - 1}) {
+    crypto::SealedBox tampered = box;
+    tampered.ciphertext[pos] ^= 0x01;
+    EXPECT_FALSE(crypto::open(key, 5, tampered, ad).has_value())
+        << "byte " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AuthEncSweep,
+                         ::testing::Values<std::size_t>(0, 1, 16, 100, 4096));
+
+// -------------------------------------------------------- Verifiable log ----
+
+class MerkleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MerkleSweep, EveryLeafProvesInclusion) {
+  const std::uint64_t n = GetParam();
+  crypto::VerifiableLog log;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    log.append("record-" + std::to_string(i));
+  }
+  const auto snapshot = log.snapshot();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string record = "record-" + std::to_string(i);
+    const auto leaf = crypto::VerifiableLog::leaf_hash(
+        {reinterpret_cast<const std::uint8_t*>(record.data()), record.size()});
+    EXPECT_TRUE(
+        crypto::verify_inclusion(leaf, log.prove_inclusion(i), snapshot))
+        << "leaf " << i;
+    // The proof must not validate a different record.
+    const std::string other = "record-x";
+    const auto wrong_leaf = crypto::VerifiableLog::leaf_hash(
+        {reinterpret_cast<const std::uint8_t*>(other.data()), other.size()});
+    if (n > 1) {
+      EXPECT_FALSE(crypto::verify_inclusion(wrong_leaf, log.prove_inclusion(i),
+                                            snapshot));
+    }
+  }
+}
+
+TEST_P(MerkleSweep, EveryPrefixIsConsistentWithTheFinalLog) {
+  const std::uint64_t n = GetParam();
+  crypto::VerifiableLog log;
+  std::vector<crypto::LogSnapshot> snapshots;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    log.append("r" + std::to_string(i));
+    snapshots.push_back(log.snapshot());
+  }
+  const auto latest = log.snapshot();
+  for (const auto& old : snapshots) {
+    EXPECT_TRUE(crypto::verify_consistency(
+        old, latest, log.prove_consistency(old.tree_size)))
+        << "prefix " << old.tree_size;
+  }
+  // A forked history (different root at the same old size) must fail.
+  if (n >= 2) {
+    crypto::LogSnapshot forked = snapshots.front();
+    forked.root[0] ^= 1;
+    EXPECT_FALSE(crypto::verify_consistency(
+        forked, latest, log.prove_consistency(forked.tree_size)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSweep,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 16,
+                                                          21, 64));
+
+// --------------------------------------------------------- One-time pads ----
+
+class OtpSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OtpSweep, HomomorphicAggregationUnmasksExactly) {
+  const std::size_t num_clients = GetParam();
+  constexpr std::size_t kLen = 64;
+  util::Rng rng(num_clients);
+
+  secagg::GroupVec masked_sum(kLen, 0);
+  secagg::GroupVec mask_sum(kLen, 0);
+  secagg::GroupVec plain_sum(kLen, 0);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    secagg::Seed seed{};
+    for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
+    secagg::GroupVec v(kLen);
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.next());
+
+    secagg::add_in_place(plain_sum, v);
+    secagg::add_in_place(masked_sum, secagg::mask(v, seed));
+    secagg::add_in_place(mask_sum, secagg::expand_mask(seed, kLen));
+  }
+  EXPECT_EQ(secagg::unmask(masked_sum, mask_sum), plain_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cohorts, OtpSweep,
+                         ::testing::Values<std::size_t>(1, 2, 7, 32, 100));
+
+// ------------------------------------------------- Aggregator invariants ----
+
+struct AggGridParam {
+  fl::TrainingMode mode;
+  std::size_t concurrency;
+  std::size_t goal;
+};
+
+class AggregatorGrid : public ::testing::TestWithParam<AggGridParam> {};
+
+TEST_P(AggregatorGrid, CountersAndDemandStayConsistent) {
+  const AggGridParam p = GetParam();
+  fl::Aggregator agg("a");
+  fl::TaskConfig cfg;
+  cfg.name = "t";
+  cfg.mode = p.mode;
+  cfg.concurrency = p.concurrency;
+  cfg.aggregation_goal = p.goal;
+  cfg.model_size = 2;
+  cfg.max_staleness = 1000;
+  agg.assign_task(cfg, std::vector<float>(2, 0.0f), {});
+
+  util::Rng rng(p.concurrency * 7 + p.goal);
+  std::uint64_t next_client = 1;
+  std::vector<std::uint64_t> active;
+  double now = 0.0;
+
+  for (int step = 0; step < 400; ++step) {
+    now += 1.0;
+    // Demand invariant: never negative, never above concurrency.
+    const std::int64_t demand = agg.client_demand("t");
+    EXPECT_GE(demand, 0);
+    EXPECT_LE(demand, static_cast<std::int64_t>(p.concurrency));
+    EXPECT_LE(agg.active_clients("t"), p.concurrency);
+
+    if (demand > 0 && rng.bernoulli(0.7)) {
+      const auto join = agg.client_join("t", next_client, now);
+      if (join.accepted) active.push_back(next_client);
+      ++next_client;
+    }
+    if (!active.empty() && rng.bernoulli(0.6)) {
+      const std::size_t pick = rng.uniform_int(active.size());
+      const std::uint64_t client = active[pick];
+      active.erase(active.begin() + pick);
+      fl::ModelUpdate u;
+      u.client_id = client;
+      u.initial_version = agg.model_version("t");
+      u.num_examples = 4;
+      u.delta = {0.01f, 0.01f};
+      const auto r = agg.client_report("t", u.serialize(), now);
+      if (r.server_stepped) {
+        // Aborted clients leave the active set.
+        for (const std::uint64_t aborted : r.aborted_clients) {
+          active.erase(std::remove(active.begin(), active.end(), aborted),
+                       active.end());
+        }
+      }
+    }
+  }
+
+  const fl::TaskStats& stats = agg.stats("t");
+  // Conservation: every received update is applied, discarded, or still
+  // buffered toward the next goal.
+  EXPECT_LE(stats.updates_applied + stats.updates_discarded,
+            stats.updates_received);
+  EXPECT_GE(stats.updates_received,
+            stats.updates_applied + stats.updates_discarded);
+  // Applied updates drive server steps in units of the aggregation goal.
+  EXPECT_EQ(stats.server_steps, stats.updates_applied / p.goal);
+  // The model actually moved if any step happened.
+  if (stats.server_steps > 0) {
+    EXPECT_NE(agg.model("t")[0], 0.0f);
+    EXPECT_EQ(agg.model_version("t"), stats.server_steps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AggregatorGrid,
+    ::testing::Values(AggGridParam{fl::TrainingMode::kAsync, 4, 2},
+                      AggGridParam{fl::TrainingMode::kAsync, 16, 4},
+                      AggGridParam{fl::TrainingMode::kAsync, 32, 4},
+                      AggGridParam{fl::TrainingMode::kAsync, 32, 32},
+                      AggGridParam{fl::TrainingMode::kSync, 4, 4},
+                      AggGridParam{fl::TrainingMode::kSync, 13, 10},
+                      AggGridParam{fl::TrainingMode::kSync, 26, 20}),
+    [](const ::testing::TestParamInfo<AggGridParam>& info) {
+      return std::string(info.param.mode == fl::TrainingMode::kAsync ? "async"
+                                                                     : "sync") +
+             "_c" + std::to_string(info.param.concurrency) + "_k" +
+             std::to_string(info.param.goal);
+    });
+
+// ------------------------------------------------- Coordinator assignment ----
+
+TEST(CoordinatorAssignment, RandomAssignmentIsUniformOverEligibleTasks) {
+  // Sec. 6.2: "the Coordinator randomly assigns the client to an eligible
+  // task".  With two equally demanding tasks, assignments split ~50/50.
+  fl::Aggregator agg("a");
+  fl::Coordinator coord(7);
+  coord.register_aggregator(agg, 0.0);
+  fl::TaskConfig t1, t2;
+  t1.name = "t1";
+  t2.name = "t2";
+  t1.concurrency = t2.concurrency = 100000;  // never exhausted
+  t1.aggregation_goal = t2.aggregation_goal = 10;
+  t1.model_size = t2.model_size = 1;
+  coord.submit_task(t1, {0.0f}, {});
+  coord.submit_task(t2, {0.0f}, {});
+
+  int to_t1 = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto assignment = coord.assign_client({});
+    ASSERT_TRUE(assignment.has_value());
+    to_t1 += assignment->task == "t1";
+    coord.assignment_concluded(assignment->task);
+  }
+  // Binomial(4000, 0.5): 5 sigma ~ 158.
+  EXPECT_NEAR(to_t1, kTrials / 2, 160);
+}
+
+TEST(CoordinatorAssignment, CapabilityFilterRestrictsEligibility) {
+  fl::Aggregator agg("a");
+  fl::Coordinator coord(8);
+  coord.register_aggregator(agg, 0.0);
+  fl::TaskConfig open, gated;
+  open.name = "open";
+  gated.name = "gated";
+  gated.required_capability = "lstm";
+  open.concurrency = gated.concurrency = 1000;
+  open.aggregation_goal = gated.aggregation_goal = 10;
+  open.model_size = gated.model_size = 1;
+  coord.submit_task(open, {0.0f}, {});
+  coord.submit_task(gated, {0.0f}, {});
+
+  // A plain client only ever lands on the open task.
+  for (int i = 0; i < 50; ++i) {
+    const auto a = coord.assign_client({});
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->task, "open");
+    coord.assignment_concluded(a->task);
+  }
+  // A capable client reaches both.
+  bool saw_gated = false;
+  for (int i = 0; i < 100 && !saw_gated; ++i) {
+    const auto a = coord.assign_client({fl::ClientCapabilities{{"lstm"}}});
+    ASSERT_TRUE(a.has_value());
+    saw_gated = a->task == "gated";
+    coord.assignment_concluded(a->task);
+  }
+  EXPECT_TRUE(saw_gated);
+}
+
+}  // namespace
+}  // namespace papaya

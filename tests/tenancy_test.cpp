@@ -1,0 +1,210 @@
+// Multi-tenant coordination tests (Sec. 6.2): several FL tasks share one
+// client population, the Coordinator balances assignments by demand and
+// eligibility, every task's concurrency is kept fed simultaneously, and an
+// Aggregator failure disturbs only the tasks it owned.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "fl/aggregator.hpp"
+#include "fl/coordinator.hpp"
+#include "fl/model_update.hpp"
+#include "fl/selector.hpp"
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+namespace {
+
+TaskConfig make_task(const std::string& name, std::size_t concurrency,
+                     const std::string& capability = "") {
+  TaskConfig cfg;
+  cfg.name = name;
+  cfg.mode = TrainingMode::kAsync;
+  cfg.concurrency = concurrency;
+  cfg.aggregation_goal = 4;
+  cfg.model_size = 2;
+  cfg.required_capability = capability;
+  return cfg;
+}
+
+/// Drives clients through select -> join -> train -> report across several
+/// tasks, with periodic aggregator reports back to the Coordinator —
+/// the Sec. 6.2 assignment loop without the ML.
+struct TenancyHarness {
+  Coordinator coord{11};
+  std::map<std::string, Aggregator*> aggregators;
+  util::Rng rng{17};
+  std::uint64_t next_client = 1;
+  /// client id -> (task, completion time)
+  std::map<std::uint64_t, std::pair<std::string, double>> in_flight;
+
+  void add_aggregator(Aggregator& agg, double now) {
+    aggregators[agg.id()] = &agg;
+    coord.register_aggregator(agg, now);
+  }
+
+  Aggregator& owner_of(const std::string& task) {
+    return *aggregators.at(coord.assignment_map().task_to_aggregator.at(task));
+  }
+
+  /// One simulated second: clients check in, training completes, reports
+  /// flow to aggregators and from aggregators to the Coordinator.
+  void step(double now, const ClientCapabilities& caps = {},
+            std::size_t checkins = 6) {
+    // Arrivals.
+    for (std::size_t i = 0; i < checkins; ++i) {
+      const auto assignment = coord.assign_client(caps);
+      if (!assignment) break;
+      Aggregator& agg = *aggregators.at(assignment->aggregator_id);
+      const std::uint64_t client = next_client++;
+      const auto join = agg.client_join(assignment->task, client, now);
+      coord.assignment_concluded(assignment->task);
+      if (join.accepted) {
+        const double exec = 2.0 + rng.uniform(0.0, 6.0);
+        in_flight[client] = {assignment->task, now + exec};
+      }
+    }
+    // Completions.
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->second.second <= now) {
+        const auto& task = it->second.first;
+        Aggregator& agg = owner_of(task);
+        ModelUpdate u;
+        u.client_id = it->first;
+        u.initial_version = agg.model_version(task);
+        u.num_examples = 4;
+        u.delta = {0.01f, 0.01f};
+        (void)agg.client_report(task, u.serialize(), now);
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Aggregator reports (heartbeat + demand) every step.
+    for (auto& [id, agg] : aggregators) {
+      std::vector<TaskReport> reports;
+      for (const auto& task : agg->task_names()) {
+        reports.push_back(TaskReport{task, agg->client_demand(task),
+                                     agg->model_version(task)});
+      }
+      coord.aggregator_report(id, agg->next_report_sequence(), now, reports);
+    }
+  }
+};
+
+TEST(MultiTenant, AllTasksReachAndHoldTheirConcurrency) {
+  Aggregator a("a"), b("b");
+  TenancyHarness h;
+  h.add_aggregator(a, 0.0);
+  h.add_aggregator(b, 0.0);
+  h.coord.submit_task(make_task("small", 6), std::vector<float>(2, 0.0f), {});
+  h.coord.submit_task(make_task("large", 18), std::vector<float>(2, 0.0f), {});
+
+  double total_small = 0.0, total_large = 0.0;
+  int samples = 0;
+  for (double t = 1.0; t <= 120.0; t += 1.0) {
+    h.step(t, {}, 10);
+    if (t > 30.0) {  // after warm-up
+      total_small += static_cast<double>(h.owner_of("small").active_clients("small"));
+      total_large += static_cast<double>(h.owner_of("large").active_clients("large"));
+      ++samples;
+    }
+  }
+  // Both tasks are simultaneously near their targets — the multi-tenant
+  // utilization claim of Sec. 6.2.
+  EXPECT_GT(total_small / samples, 0.8 * 6);
+  EXPECT_LE(total_small / samples, 6.0);
+  EXPECT_GT(total_large / samples, 0.8 * 18);
+  EXPECT_LE(total_large / samples, 18.0);
+  // Both made training progress.
+  EXPECT_GT(h.owner_of("small").stats("small").server_steps, 0u);
+  EXPECT_GT(h.owner_of("large").stats("large").server_steps, 0u);
+}
+
+TEST(MultiTenant, CapabilityGatedTaskOnlyReceivesCapableClients) {
+  Aggregator a("a");
+  TenancyHarness h;
+  h.add_aggregator(a, 0.0);
+  h.coord.submit_task(make_task("open", 8), std::vector<float>(2, 0.0f), {});
+  h.coord.submit_task(make_task("gated", 8, "lstm"),
+                      std::vector<float>(2, 0.0f), {});
+
+  // Plain clients fill only the open task...
+  for (double t = 1.0; t <= 40.0; t += 1.0) h.step(t, {}, 4);
+  EXPECT_EQ(a.active_clients("gated"), 0u);
+  EXPECT_GT(a.active_clients("open"), 0u);
+  // ...capable clients then fill the gated one too.
+  for (double t = 41.0; t <= 80.0; t += 1.0) {
+    h.step(t, ClientCapabilities{{"lstm"}}, 4);
+  }
+  EXPECT_GT(a.active_clients("gated"), 0u);
+}
+
+TEST(MultiTenant, AggregatorFailureOnlyDisturbsItsOwnTasks) {
+  Aggregator a("a"), b("b");
+  TenancyHarness h;
+  h.add_aggregator(a, 0.0);
+  h.add_aggregator(b, 0.0);
+  // Four tasks spread across the two aggregators by load balancing.
+  for (int i = 0; i < 4; ++i) {
+    h.coord.submit_task(make_task("t" + std::to_string(i), 6),
+                        std::vector<float>(2, 0.0f), {});
+  }
+  for (double t = 1.0; t <= 60.0; t += 1.0) h.step(t, {}, 10);
+
+  // Remember who owned what, then fail "a" (stop its heartbeats).
+  const auto before = h.coord.assignment_map().task_to_aggregator;
+  std::set<std::string> owned_by_a, owned_by_b;
+  for (const auto& [task, agg] : before) {
+    (agg == "a" ? owned_by_a : owned_by_b).insert(task);
+  }
+  ASSERT_FALSE(owned_by_a.empty());
+  ASSERT_FALSE(owned_by_b.empty());
+
+  // Only b heartbeats from t=61; a goes silent.
+  for (double t = 61.0; t <= 100.0; t += 1.0) {
+    std::vector<TaskReport> reports;
+    for (const auto& task : b.task_names()) {
+      reports.push_back(TaskReport{task, b.client_demand(task), 0});
+    }
+    h.coord.aggregator_report("b", b.next_report_sequence(), t, reports);
+  }
+  const auto failed = h.coord.detect_failures(100.0, 20.0);
+  ASSERT_EQ(failed, std::vector<std::string>{"a"});
+
+  const auto& after = h.coord.assignment_map().task_to_aggregator;
+  for (const auto& task : owned_by_a) {
+    EXPECT_EQ(after.at(task), "b") << task << " must have moved";
+    EXPECT_TRUE(b.has_task(task));
+  }
+  for (const auto& task : owned_by_b) {
+    // Model versions on the survivor are untouched by the failover.
+    EXPECT_EQ(after.at(task), "b") << task << " must not have moved";
+  }
+}
+
+TEST(MultiTenant, DemandDrainsAsTasksFill) {
+  Aggregator a("a");
+  TenancyHarness h;
+  h.add_aggregator(a, 0.0);
+  h.coord.submit_task(make_task("t", 5), std::vector<float>(2, 0.0f), {});
+
+  // Fill the task completely with very slow clients (they never finish
+  // within the horizon), then demand must be zero and assignment refused.
+  for (int i = 0; i < 5; ++i) {
+    const auto assignment = h.coord.assign_client({});
+    ASSERT_TRUE(assignment.has_value());
+    ASSERT_TRUE(a.client_join("t", 1000 + i, 0.0).accepted);
+    h.coord.assignment_concluded("t");
+  }
+  h.coord.aggregator_report("a", a.next_report_sequence(), 1.0,
+                            {TaskReport{"t", a.client_demand("t"), 0}});
+  EXPECT_EQ(h.coord.pooled_demand("t"), 0);
+  EXPECT_FALSE(h.coord.assign_client({}).has_value());
+}
+
+}  // namespace
+}  // namespace papaya::fl

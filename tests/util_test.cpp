@@ -1,0 +1,314 @@
+// Unit + property tests for src/util: RNG, distributions, statistics,
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace papaya::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(8);
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(n), n);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(10);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalSpansOrdersOfMagnitude) {
+  // The Fig. 2 requirement: execution times spread over > 2 orders of
+  // magnitude between the 1st and 99th percentile with sigma ~ 1.1.
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.lognormal(1.0, 1.1);
+  const double p1 = percentile(xs, 1.0);
+  const double p99 = percentile(xs, 99.0);
+  EXPECT_GT(p99 / p1, 100.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.1);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(14);
+  Rng child = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == child.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfSampler, RanksAreDescendingInFrequency) {
+  Rng rng(15);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[30]);
+}
+
+TEST(ZipfSampler, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng(16);
+  std::vector<double> xs(5000), ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Stats, KsIdenticalSamples) {
+  Rng rng(17);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal();
+  const KsResult r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.d_statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(Stats, KsSameDistributionHighPValue) {
+  Rng rng(18);
+  std::vector<double> a(3000), b(3000);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_LT(r.d_statistic, 0.05);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Stats, KsShiftedDistributionRejected) {
+  // This is the Sec. 7.4 usage: a biased participating-client distribution
+  // must produce a large D and a ~zero p-value.
+  Rng rng(19);
+  std::vector<double> a(3000), b(3000);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal() + 1.0;
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_GT(r.d_statistic, 0.3);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(Stats, KsEmptySampleThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(ks_two_sample(xs, {}), std::invalid_argument);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamped into first bin
+  h.add(100.0);   // clamped into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, HistogramNormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  const auto norm = h.normalized();
+  double sum = 0.0;
+  for (double v : norm) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Stats, LogHistogramBinCentersAreGeometric) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_center(0), std::pow(10.0, 0.5), 1e-9);
+  EXPECT_NEAR(h.bin_center(1), std::pow(10.0, 1.5), 1e-9);
+  EXPECT_NEAR(h.bin_center(2), std::pow(10.0, 2.5), 1e-9);
+}
+
+TEST(Stats, RunningStatTracksMinMaxMean) {
+  RunningStat s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  w.f32(-2.5f);
+  w.str("papaya");
+  w.floats(std::vector<float>{1.0f, -1.0f, 0.5f});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_FLOAT_EQ(r.f32(), -2.5f);
+  EXPECT_EQ(r.str(), "papaya");
+  const auto floats = r.floats();
+  ASSERT_EQ(floats.size(), 3u);
+  EXPECT_FLOAT_EQ(floats[1], -1.0f);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(42);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(Bytes, TruncatedLengthPrefixThrows) {
+  ByteWriter w;
+  w.u64(1000);  // claims 1000 bytes follow, but none do
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), std::out_of_range);
+}
+
+TEST(Log, DefaultLevelSuppressesInfo) {
+  CapturingLogSink sink(LogLevel::kWarning);
+  PAPAYA_LOG(LogLevel::kInfo) << "quiet";
+  PAPAYA_LOG(LogLevel::kWarning) << "loud";
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].message, "loud");
+  EXPECT_EQ(sink.records()[0].level, LogLevel::kWarning);
+}
+
+TEST(Log, StreamFormattingComposes) {
+  CapturingLogSink sink;
+  PAPAYA_LOG(LogLevel::kError) << "task " << 7 << " failed at " << 1.5 << "s";
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].message, "task 7 failed at 1.5s");
+}
+
+TEST(Log, CapturingSinkRestoresPreviousBehaviour) {
+  Logger::instance().set_level(LogLevel::kError);
+  {
+    CapturingLogSink sink(LogLevel::kDebug);
+    PAPAYA_LOG(LogLevel::kDebug) << "captured";
+    EXPECT_TRUE(sink.contains("captured"));
+  }
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+  Logger::instance().set_level(LogLevel::kWarning);  // restore default
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  const Bytes d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+TEST(Bytes, ToHex) {
+  const Bytes b{0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(b), "00ff1a");
+}
+
+}  // namespace
+}  // namespace papaya::util
