@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and collect results into BENCH_*.json at the
+# repo root, seeding the perf trajectory tracked across PRs.
+#
+#   - bench_micro_* (Google Benchmark) emit native JSON via
+#     --benchmark_format=json.
+#   - bench_fig* / bench_ablation_* / bench_table1_* (figure and table
+#     reproductions) print human-readable text; their stdout is wrapped in a
+#     JSON envelope {bench, exit_code, seconds, output}.
+#
+# The build directory defaults to ./build; the CMake `bench` target invokes
+# this script with PAPAYA_BENCH_DIR pointing at the active build tree.
+#
+# Usage: scripts/bench.sh [name-filter]
+#   e.g. scripts/bench.sh fig2      # only benches whose name contains "fig2"
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${PAPAYA_BENCH_DIR:-$ROOT/build}"
+FILTER="${1:-}"
+
+if ! command -v jq > /dev/null; then
+  echo "error: jq is required to collect bench results" >&2
+  exit 1
+fi
+
+if ! compgen -G "$BUILD/bench_*" > /dev/null; then
+  echo "error: no bench_* binaries in $BUILD — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+failures=0
+ran=0
+
+for bin in "$BUILD"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    *"$FILTER"*) ;;
+    *) continue ;;
+  esac
+  out_json="$ROOT/BENCH_${name#bench_}.json"
+  # Stage into a temp file so a crashing bench or failing jq never clobbers
+  # the committed baseline with a truncated/empty JSON.  mktemp creates the
+  # file 0600; restore umask-default perms so other uids can read results.
+  tmp_json="$(mktemp)"
+  chmod 644 "$tmp_json"
+  printf '== %s\n' "$name"
+  start=$(date +%s.%N)
+  if [[ "$name" == bench_micro_* ]]; then
+    # Google Benchmark: native JSON straight to the collection file.
+    if "$bin" --benchmark_format=json > "$tmp_json"; then
+      mv "$tmp_json" "$out_json"
+    else
+      echo "   FAILED (exit $?)" >&2
+      rm -f "$tmp_json"
+      failures=$((failures + 1))
+    fi
+  else
+    output="$("$bin" 2>&1)"
+    rc=$?
+    end=$(date +%s.%N)
+    if jq -n \
+      --arg bench "$name" \
+      --argjson exit_code "$rc" \
+      --argjson seconds "$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" \
+      --arg output "$output" \
+      '{bench: $bench, exit_code: $exit_code, seconds: $seconds, output: $output}' \
+      > "$tmp_json" && [ "$rc" -eq 0 ]; then
+      mv "$tmp_json" "$out_json"
+    else
+      echo "   FAILED (exit $rc)" >&2
+      printf '%s\n' "$output" | tail -20 >&2
+      rm -f "$tmp_json"
+      failures=$((failures + 1))
+    fi
+  fi
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: filter '$FILTER' matched no bench binaries in $BUILD" >&2
+  exit 1
+fi
+
+echo
+echo "ran $ran benches, $failures failed; results in $ROOT/BENCH_*.json"
+[ "$failures" -eq 0 ]

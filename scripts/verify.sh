@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact ROADMAP command — configure, build everything
+# (library, 19 test suites, benches, examples), and run every CTest suite.
+# Exits nonzero on any configure, compile, link, or test failure.
+#
+# Usage: scripts/verify.sh [extra cmake configure args...]
+#   e.g. scripts/verify.sh -DCMAKE_BUILD_TYPE=Debug -DPAPAYA_WERROR=ON
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

@@ -12,6 +12,20 @@
 #include <string>
 #include <vector>
 
+// The wire-format layer (and everything above it) requires C++20: std::span
+// is used pervasively in public signatures.  Failing here gives a one-line
+// diagnostic instead of the std::span template spew a C++17 build produces.
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is passed, so its
+// real language level is read from _MSVC_LANG.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "papaya requires C++20 (std::span); build with /std:c++20");
+#else
+static_assert(__cplusplus >= 202002L,
+              "papaya requires C++20 (std::span); "
+              "configure with -DCMAKE_CXX_STANDARD=20 or -std=c++20");
+#endif
+
 namespace papaya::util {
 
 using Bytes = std::vector<std::uint8_t>;
