@@ -7,6 +7,7 @@
 #include "fl/client_runtime.hpp"
 #include "fl/model_update.hpp"
 #include "fl/parallel_agg.hpp"
+#include "fl/sharded_agg.hpp"
 #include "ml/dataset.hpp"
 #include "ml/optimizer.hpp"
 #include "util/rng.hpp"
@@ -55,6 +56,30 @@ void BM_ParallelAggregation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 512);
 }
 BENCHMARK(BM_ParallelAggregation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sharded aggregation scaling: the same 512-update workload, with client
+/// update streams consistent-hashed across 1/2/4/8 single-worker shards.
+/// Each shard owns its own queue + pool + intermediates, so throughput
+/// scales with the shard count instead of saturating one reduce loop.
+void BM_ShardedAggregation(benchmark::State& state) {
+  const std::size_t model_size = 65536;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const util::Bytes update = serialized_update(model_size);
+  for (auto _ : state) {
+    fl::ShardedAggregator::Config cfg;
+    cfg.model_size = model_size;
+    cfg.num_shards = shards;
+    cfg.threads_per_shard = 1;
+    fl::ShardedAggregator agg(cfg);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      agg.enqueue(/*stream_key=*/i, update, 1.0);
+    }
+    benchmark::DoNotOptimize(agg.reduce_and_reset());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ShardedAggregation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FedAdamStep(benchmark::State& state) {

@@ -24,6 +24,8 @@ int main() {
   task.mode = fl::TrainingMode::kAsync;
   task.concurrency = 8;
   task.aggregation_goal = 1;
+  // Fold uploads across 4 consistent-hashed aggregation shards (Sec. 6.3).
+  task.aggregator_shards = 4;
 
   ml::LmConfig model_cfg;
   model_cfg.vocab_size = 32;
@@ -39,6 +41,9 @@ int main() {
 
   fl::VirtualSessionManager::Options session_opts;
   session_opts.session_ttl_s = 300.0;
+  // Sessions are stamped with the aggregation shard the client's upload
+  // stream hashes to (same ring as the task's ShardedAggregator).
+  session_opts.aggregator_shards = task.aggregator_shards;
   fl::VirtualSessionManager sessions(session_opts);
 
   // Client side: a device with local data behind the Example Store.
@@ -53,10 +58,13 @@ int main() {
   double now = 0.0;
   const auto join = aggregator.client_join(task.name, 101, now);
   const std::uint64_t token = sessions.open(101, now);
-  std::printf("[t=%3.0f] selected: accepted=%d model v%llu session %016llx\n",
-              now, join.accepted,
-              static_cast<unsigned long long>(join.model_version),
-              static_cast<unsigned long long>(token));
+  std::printf(
+      "[t=%3.0f] selected: accepted=%d model v%llu session %016llx "
+      "(upload -> shard %zu/%zu)\n",
+      now, join.accepted,
+      static_cast<unsigned long long>(join.model_version),
+      static_cast<unsigned long long>(token), sessions.lookup(token)->shard,
+      task.aggregator_shards);
 
   // 2. Download.
   now += 2.0;

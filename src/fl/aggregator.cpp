@@ -44,10 +44,15 @@ void Aggregator::assign_task(const TaskConfig& config,
   ts.model = std::move(initial_model);
   ts.version = initial_version;
   ts.server_opt = std::make_unique<ml::ServerOptimizer>(config.model_size, server_opt);
-  // One intermediate per worker thread keeps contention low (Sec. 6.3).
-  ts.pipeline = std::make_unique<ParallelAggregator>(
-      config.model_size, num_threads_, num_threads_,
-      config.dp.enabled ? config.dp.clip_norm : 0.0f);
+  // Sharded pipeline (Sec. 6.3): `aggregator_shards` independent worker
+  // pools, each with one intermediate per worker to keep contention low.
+  ShardedAggregator::Config pipeline_cfg;
+  pipeline_cfg.model_size = config.model_size;
+  pipeline_cfg.num_shards = config.aggregator_shards;
+  pipeline_cfg.threads_per_shard = num_threads_;
+  pipeline_cfg.intermediates_per_shard = num_threads_;
+  pipeline_cfg.clip_norm = config.dp.enabled ? config.dp.clip_norm : 0.0f;
+  ts.pipeline = std::make_unique<ShardedAggregator>(pipeline_cfg);
   ts.dp_rng.reseed(std::hash<std::string>{}(config.name) ^ 0xd9ULL);
   if (config.secagg_enabled) {
     ts.secure = std::make_unique<SecureBufferManager>(
@@ -93,6 +98,7 @@ std::uint64_t Aggregator::model_version(const std::string& task) const {
 }
 
 void Aggregator::server_step(TaskState& ts) {
+  // Cross-shard reduce: every shard drains + folds, sums combine globally.
   ParallelAggregator::Reduced reduced = ts.pipeline->reduce_and_reset();
   if (reduced.count == 0) return;
   apply_step(ts, std::move(reduced.mean_delta), reduced.count);
@@ -185,7 +191,9 @@ ReportResult Aggregator::client_report(const std::string& task,
     weight *= staleness_weight(ts.config.staleness_scheme, staleness,
                                ts.config.staleness_params);
   }
-  ts.pipeline->enqueue(serialized_update, weight);
+  // The client id keys the stream: all of a client's updates land on the
+  // same aggregation shard (consistent-hash placement, Sec. 6.3).
+  ts.pipeline->enqueue(header.client_id, serialized_update, weight);
   ++ts.buffered;
 
   ReportResult result{ReportOutcome::kAccepted, false, {}};
@@ -319,6 +327,10 @@ std::size_t Aggregator::active_clients(const std::string& task) const {
 
 const TaskStats& Aggregator::stats(const std::string& task) const {
   return state(task).stats;
+}
+
+std::size_t Aggregator::task_shards(const std::string& task) const {
+  return state(task).pipeline->num_shards();
 }
 
 double Aggregator::estimated_workload() const {

@@ -4,8 +4,9 @@
 // Persistent and stateful: tasks are assigned to it by the Coordinator and
 // stay for the life of the task (apart from failures).  For each task it
 //  - serves the current model to joining clients,
-//  - buffers client updates (through the parallel aggregation pipeline of
-//    Sec. 6.3) until the aggregation goal is reached,
+//  - buffers client updates (through the sharded parallel aggregation
+//    pipeline of Sec. 6.3: TaskConfig::aggregator_shards consistent-hashed
+//    worker pools per task) until the aggregation goal is reached,
 //  - performs the server optimizer step (FedAdam) and bumps the version,
 //  - enforces max concurrency, client timeouts, staleness aborts (App. E.1,
 //    E.2), and the SyncFL round/over-selection semantics (App. E.3),
@@ -20,7 +21,7 @@
 #include <vector>
 
 #include "fl/model_update.hpp"
-#include "fl/parallel_agg.hpp"
+#include "fl/sharded_agg.hpp"
 #include "fl/secure_buffer.hpp"
 #include "fl/task.hpp"
 #include "ml/optimizer.hpp"
@@ -65,7 +66,8 @@ struct TaskStats {
 
 class Aggregator {
  public:
-  /// `num_threads` sizes the parallel aggregation pool (Sec. 6.3).
+  /// `num_threads` sizes each aggregation shard's worker pool (Sec. 6.3);
+  /// the shard count itself is per-task (TaskConfig::aggregator_shards).
   Aggregator(std::string id, std::size_t num_threads = 2);
 
   const std::string& id() const { return id_; }
@@ -144,6 +146,10 @@ class Aggregator {
   std::size_t active_clients(const std::string& task) const;
   const TaskStats& stats(const std::string& task) const;
 
+  /// Aggregation shards actually instantiated for the task (normalized
+  /// TaskConfig::aggregator_shards; tests assert this survives failover).
+  std::size_t task_shards(const std::string& task) const;
+
   /// Estimated total workload across assigned tasks (for Coordinator
   /// placement decisions).
   double estimated_workload() const;
@@ -163,7 +169,7 @@ class Aggregator {
     std::vector<float> model;
     std::uint64_t version = 0;
     std::unique_ptr<ml::ServerOptimizer> server_opt;
-    std::unique_ptr<ParallelAggregator> pipeline;
+    std::unique_ptr<ShardedAggregator> pipeline;
 
     std::map<std::uint64_t, ActiveClient> active;
     std::size_t buffered = 0;             ///< updates counted toward the goal

@@ -35,10 +35,14 @@ void Coordinator::submit_task(const TaskConfig& config,
   if (agg == nullptr) {
     throw std::runtime_error("Coordinator: no live aggregators available");
   }
-  agg->assign_task(config, std::move(initial_model), server_opt,
+  TaskConfig placed = config;
+  // Normalize the shard count at the placement boundary so every layer
+  // below (Aggregator pipelines, failover, recovery) sees the same value.
+  if (placed.aggregator_shards == 0) placed.aggregator_shards = 1;
+  agg->assign_task(placed, std::move(initial_model), server_opt,
                    initial_version);
   TaskEntry entry;
-  entry.config = config;
+  entry.config = placed;
   entry.server_opt = server_opt;
   entry.aggregator_id = agg->id();
   // Until the first report arrives, assume full demand so clients can start
@@ -53,9 +57,18 @@ void Coordinator::adopt_task(const TaskConfig& config,
                              ml::ServerOptimizerConfig server_opt) {
   TaskEntry entry;
   entry.config = config;
+  if (entry.config.aggregator_shards == 0) entry.config.aggregator_shards = 1;
   entry.server_opt = server_opt;
   entry.reported_demand = 0;  // unknown until the owner's first report
+  // aggregator_id stays empty: the task is unowned (and therefore not
+  // assignable) until recover_from_aggregator_state() or an owner report
+  // names the Aggregator actually running it.
   tasks_.insert_or_assign(config.name, std::move(entry));
+}
+
+std::size_t Coordinator::task_shards(const std::string& task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? 0 : it->second.config.aggregator_shards;
 }
 
 void Coordinator::remove_task(const std::string& task) {
@@ -83,7 +96,17 @@ void Coordinator::aggregator_report(const std::string& aggregator_id,
   for (const auto& report : reports) {
     const auto task_it = tasks_.find(report.task);
     if (task_it == tasks_.end()) continue;
-    if (task_it->second.aggregator_id != aggregator_id) continue;  // stale
+    if (task_it->second.aggregator_id.empty()) {
+      // Adopted task (App. E.4) whose owner was unknown: the first report
+      // from an Aggregator actually running it claims ownership, which is
+      // what makes the task assignable again.
+      if (!it->second.aggregator->has_task(report.task)) continue;
+      task_it->second.aggregator_id = aggregator_id;
+      map_.task_to_aggregator[report.task] = aggregator_id;
+      ++map_.version;
+    } else if (task_it->second.aggregator_id != aggregator_id) {
+      continue;  // stale: task has since moved to another Aggregator
+    }
     task_it->second.reported_demand = report.demand;
     // A fresh report reflects all joins that reached the aggregator, so the
     // pending estimate resets.
@@ -122,6 +145,8 @@ std::vector<std::string> Coordinator::detect_failures(double now,
         throw std::runtime_error("Coordinator: no live aggregator for task " +
                                  task_name);
       }
+      // entry.config carries the task's shard count, so the replacement
+      // rebuilds the same sharded pipeline around the checkpointed model.
       replacement->assign_task(entry.config, std::move(checkpoint.model),
                                entry.server_opt, checkpoint.version);
       entry.aggregator_id = replacement->id();
@@ -141,6 +166,9 @@ std::optional<ClientAssignment> Coordinator::assign_client(
   // remaining demand.
   std::vector<const std::string*> eligible;
   for (const auto& [name, entry] : tasks_) {
+    // Unowned (freshly adopted) tasks are ineligible: handing out an
+    // assignment would point the client at the empty-string aggregator.
+    if (entry.aggregator_id.empty()) continue;
     if (!caps.matches(entry.config.required_capability)) continue;
     if (entry.reported_demand - entry.pending_assignments <= 0) continue;
     eligible.push_back(&name);

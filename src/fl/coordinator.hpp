@@ -89,11 +89,20 @@ class Coordinator {
   /// Register task metadata *without* placing it on an Aggregator: a newly
   /// elected leader adopts the durable task store this way, then
   /// recover_from_aggregator_state() discovers which Aggregator actually
-  /// runs each task (App. E.4).  Demand starts at zero until reports arrive.
+  /// runs each task (App. E.4).  Demand starts at zero until reports
+  /// arrive, and the task is *ineligible for client assignment* until an
+  /// owner is known — either via recovery or via the first report from the
+  /// Aggregator actually running it — so an assignment can never point at
+  /// the empty-string aggregator.
   void adopt_task(const TaskConfig& config,
                   ml::ServerOptimizerConfig server_opt);
 
   const AssignmentMap& assignment_map() const { return map_; }
+
+  /// Aggregation shard count the Coordinator tracks for a task (normalized
+  /// TaskConfig::aggregator_shards; 0 for unknown tasks).  Placement,
+  /// failover and recovery all preserve it.
+  std::size_t task_shards(const std::string& task) const;
 
   // -- Client assignment (Sec. 6.2) ----------------------------------------
 

@@ -45,18 +45,21 @@ void ParallelAggregator::enqueue(util::Bytes serialized_update, double weight) {
   queue_cv_.notify_one();
 }
 
-void ParallelAggregator::worker_loop(std::size_t /*worker_index*/) {
-  // Hash this worker's thread id to pick its intermediate aggregate
-  // (Sec. 6.3's lock-contention trick).
+void ParallelAggregator::worker_loop(std::size_t worker_index) {
+  // Each worker owns a fixed intermediate aggregate (Sec. 6.3's
+  // lock-contention trick).  The paper hashes the aggregating thread's id;
+  // hashing std::thread::id made workers collide onto one slot in practice,
+  // so the pool indexes workers instead — same idea, deterministic spread.
   const std::size_t slot =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
-      intermediates_.size();
+      intermediate_slot(worker_index, intermediates_.size());
 
   for (;;) {
     std::pair<util::Bytes, double> item;
     {
       std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
       if (queue_.empty()) return;  // stopping
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -97,13 +100,24 @@ void ParallelAggregator::drain() {
   drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
 }
 
-ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset() {
-  drain();
+ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
+  // Quiesce the pool before touching the intermediates.  The drained
+  // predicate and the pause flag are evaluated/set under one queue_mutex_
+  // critical section: everything enqueued before this call is folded, and
+  // workers cannot pick up anything enqueued after, so a racing enqueue
+  // lands intact in the *next* buffer instead of being folded into an
+  // intermediate that this reduce already summed-and-reset (the old code
+  // silently lost such updates).
+  {
+    std::unique_lock lock(queue_mutex_);
+    drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+    paused_ = true;
+  }
   Reduced out;
   out.mean_delta.assign(model_size_, 0.0f);
-  for (auto& inter : intermediates_) {
-    std::lock_guard lock(
-        intermediate_locks_[static_cast<std::size_t>(&inter - intermediates_.data())]);
+  for (std::size_t s = 0; s < intermediates_.size(); ++s) {
+    std::lock_guard lock(intermediate_locks_[s]);
+    Intermediate& inter = intermediates_[s];
     for (std::size_t i = 0; i < model_size_; ++i) {
       out.mean_delta[i] += inter.weighted_delta[i];
     }
@@ -113,6 +127,16 @@ ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset() {
     inter.weight_sum = 0.0;
     inter.count = 0;
   }
+  {
+    std::lock_guard lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();  // wake workers for anything enqueued mid-reduce
+  return out;
+}
+
+ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset() {
+  Reduced out = reduce_and_reset_sums();
   if (out.weight_sum > 0.0) {
     const float inv = static_cast<float>(1.0 / out.weight_sum);
     for (auto& v : out.mean_delta) v *= inv;

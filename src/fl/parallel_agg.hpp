@@ -12,8 +12,18 @@
 //
 // This module implements exactly that: a mutex-protected queue of serialized
 // updates, a pool of worker threads each folding deserialized deltas into one
-// of `num_intermediates` partial sums selected by hashing the worker's thread
-// id, and a final reduction over the intermediates.
+// of `num_intermediates` partial sums, and a final reduction over the
+// intermediates.  One deliberate deviation from the paper's wording: instead
+// of hashing the worker's *thread id* onto an intermediate (which gives no
+// collision guarantee — std::hash<std::thread::id> routinely mapped whole
+// pools onto a single slot, serializing every fold behind one mutex), each
+// worker takes `worker_index % num_intermediates`.  That realizes the same
+// lock-contention trick with a deterministic, guaranteed-even spread.
+//
+// reduce_and_reset() is safe against concurrent enqueue(): the reduce
+// quiesces the pool (drains, then pauses workers under the queue lock) so an
+// update enqueued mid-reduce lands in the *next* buffer instead of being
+// folded into an intermediate that was already summed-and-reset.
 
 #include <condition_variable>
 #include <cstdint>
@@ -62,7 +72,21 @@ class ParallelAggregator {
   };
   Reduced reduce_and_reset();
 
+  /// Like reduce_and_reset(), but `mean_delta` holds the raw weighted sum
+  /// (sum of w_i * delta_i) — not divided by `weight_sum`.  Cross-shard
+  /// reduction (ShardedAggregator) combines shards with this so the final
+  /// mean is computed exactly once over the global weight.
+  Reduced reduce_and_reset_sums();
+
   std::size_t queued_or_inflight() const;
+
+  /// The intermediate a pool worker folds into.  Index-based (not
+  /// thread-id-hashed) so the spread over intermediates is guaranteed even;
+  /// exposed for tests documenting that guarantee.
+  static constexpr std::size_t intermediate_slot(std::size_t worker_index,
+                                                 std::size_t num_intermediates) {
+    return num_intermediates == 0 ? 0 : worker_index % num_intermediates;
+  }
 
  private:
   void worker_loop(std::size_t worker_index);
@@ -78,6 +102,10 @@ class ParallelAggregator {
   std::deque<std::pair<util::Bytes, double>> queue_;
   std::size_t inflight_ = 0;
   bool stopping_ = false;
+  /// True while reduce_and_reset() reads/resets the intermediates; workers
+  /// leave the queue untouched so mid-reduce enqueues survive into the next
+  /// buffer (guarded by queue_mutex_).
+  bool paused_ = false;
 
   std::vector<std::thread> workers_;
 };

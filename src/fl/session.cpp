@@ -27,22 +27,23 @@ VirtualSessionManager::VirtualSessionManager()
 
 VirtualSessionManager::VirtualSessionManager(Options options,
                                              std::uint64_t seed)
-    : options_(options), token_state_(seed | 1) {}
+    : options_(options),
+      token_stream_(seed | 1),
+      shard_ring_(options.aggregator_shards) {}
 
 std::uint64_t VirtualSessionManager::open(std::uint64_t client_id,
                                           double now) {
-  // SplitMix64 step: unique, non-sequential tokens.
+  // SplitMix64 stream: unique, non-sequential tokens.
   for (;;) {
-    token_state_ += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = token_state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    const std::uint64_t token = z ^ (z >> 31);
+    const std::uint64_t token = token_stream_.next();
     if (token == 0 || sessions_.count(token) != 0) continue;
     SessionInfo info;
     info.token = token;
     info.client_id = client_id;
     info.stage = SessionStage::kSelected;
+    // The shard the client's upload stream will hit (same consistent-hash
+    // ring as the ShardedAggregator folding that stream).
+    info.shard = shard_ring_.shard_for(client_id);
     info.opened_at = now;
     info.last_touched = now;
     sessions_.emplace(token, info);

@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "fl/shard_ring.hpp"
+#include "util/rng.hpp"
+
 namespace papaya::fl {
 
 /// The participation stages of Sec. 6.1, in protocol order.
@@ -52,12 +55,21 @@ class VirtualSessionManager {
     /// 4-minute client timeout bounds training; the TTL bounds *protocol*
     /// silence within a stage and across transient disconnects.
     double session_ttl_s = 300.0;
+
+    /// Aggregation shard count of the task this session table serves
+    /// (TaskConfig::aggregator_shards).  Sessions are stamped at open with
+    /// the shard their client's update stream consistent-hashes to, so the
+    /// upload stage can be routed straight to the owning shard's queue.
+    std::size_t aggregator_shards = 1;
   };
 
   struct SessionInfo {
     std::uint64_t token = 0;
     std::uint64_t client_id = 0;
     SessionStage stage = SessionStage::kSelected;
+    /// Aggregation shard this client's update stream hashes to (same ring
+    /// as ShardedAggregator, so session routing and folding agree).
+    std::size_t shard = 0;
     double opened_at = 0.0;
     double last_touched = 0.0;
     std::uint32_t resumes = 0;  ///< touches after a gap (diagnostics)
@@ -108,7 +120,8 @@ class VirtualSessionManager {
                             SessionOutcome& outcome);
 
   Options options_;
-  std::uint64_t token_state_;
+  util::SplitMix64 token_stream_;
+  ConsistentHashRing shard_ring_;
   std::map<std::uint64_t, SessionInfo> sessions_;
 };
 

@@ -1,0 +1,41 @@
+#include "fl/shard_ring.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+
+ConsistentHashRing::ConsistentHashRing(std::size_t num_shards,
+                                       std::size_t vnodes_per_shard)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  const std::size_t vnodes = vnodes_per_shard == 0 ? 1 : vnodes_per_shard;
+  ring_.reserve(num_shards_ * vnodes);
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // A vnode's ring point depends only on its own (shard, vnode) pair, so
+      // adding shard N+1 inserts new points without moving existing ones —
+      // that is what bounds placement churn to ~1/(N+1).  The extra salted
+      // hash round domain-separates points from stream-key hashes: without
+      // it, small integer stream keys (client ids 0..vnodes-1) hash exactly
+      // onto shard 0's vnode points and all pin to shard 0.
+      const std::uint64_t point = util::splitmix64_hash(
+          util::splitmix64_hash((static_cast<std::uint64_t>(shard) << 24) | v) ^
+          0x5ead0f1e1d0a11cULL);
+      ring_.emplace_back(point, static_cast<std::uint32_t>(shard));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ConsistentHashRing::shard_for(std::uint64_t stream_key) const {
+  if (num_shards_ == 1) return 0;
+  const std::uint64_t h = util::splitmix64_hash(stream_key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& entry, std::uint64_t value) { return entry.first < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+}  // namespace papaya::fl

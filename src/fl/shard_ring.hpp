@@ -1,0 +1,43 @@
+#pragma once
+// Consistent-hash ring for aggregation-shard placement (Sec. 6.3).
+//
+// Client update *streams* (keyed by client id) are hashed onto aggregation
+// shards through a ring of virtual nodes, the classic consistent-hashing
+// construction: each shard owns `vnodes_per_shard` points on a 64-bit ring,
+// and a stream lands on the shard owning the first point at or after the
+// stream key's hash.  Virtual nodes keep the per-shard load even, and the
+// construction keeps placement *stable*: growing from N to N+1 shards moves
+// only ~1/(N+1) of the streams, so warm per-shard state (intermediates,
+// queues) survives resharding mostly intact.
+//
+// The ring is shared by every layer that must agree on stream placement:
+// ShardedAggregator routes enqueues with it, and VirtualSessionManager
+// stamps each session with the shard its upload stream will hit.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace papaya::fl {
+
+class ConsistentHashRing {
+ public:
+  /// `num_shards` == 0 is normalized to 1.  `vnodes_per_shard` trades
+  /// placement evenness against ring size; 64 keeps the max/min shard load
+  /// ratio under ~1.3 for realistic stream counts.
+  explicit ConsistentHashRing(std::size_t num_shards,
+                              std::size_t vnodes_per_shard = 64);
+
+  /// The shard owning `stream_key`'s arc of the ring.  Deterministic across
+  /// processes and runs (the hash is the seedless util::splitmix64_hash).
+  std::size_t shard_for(std::uint64_t stream_key) const;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+ private:
+  std::size_t num_shards_;
+  /// (ring point, shard) sorted by point; lookups binary-search this.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace papaya::fl

@@ -42,6 +42,13 @@ struct TaskConfig {
   /// Coordinator's workload estimate for task placement (Sec. 6.3).
   std::size_t model_size = 0;
 
+  /// Aggregation shards for this task (Sec. 6.3 scaled out): client update
+  /// streams are consistent-hashed onto this many independent
+  /// ParallelAggregator pipelines, each with its own queue, worker pool and
+  /// intermediates, with a cross-shard reduce at each server step.  1 (or 0,
+  /// normalized to 1) keeps the single-pipeline behaviour.
+  std::size_t aggregator_shards = 1;
+
   /// Whether updates travel through Asynchronous SecAgg.
   bool secagg_enabled = false;
 
@@ -73,7 +80,11 @@ struct TaskConfig {
   std::string required_capability;
 
   /// Coordinator workload estimate (Sec. 6.3: "estimates this workload using
-  /// the task concurrency and model size").
+  /// the task concurrency and model size").  Deliberately independent of
+  /// `aggregator_shards`: all of a task's shards run in-process on the one
+  /// owning Aggregator, so sharding shortens the wall-clock of each reduce
+  /// but does not shrink the host's total fold work — dividing by the shard
+  /// count here would under-report load on exactly the busiest host.
   double estimated_workload() const {
     return static_cast<double>(concurrency) * static_cast<double>(model_size);
   }

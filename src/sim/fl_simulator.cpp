@@ -42,11 +42,17 @@ FlSimulator::FlSimulator(SimulationConfig config)
 
   // Server components.
   coordinator_ = std::make_unique<fl::Coordinator>(config_.seed);
+  // Sharding is a task property: normalize it once here so the Coordinator,
+  // the owning Aggregator's pipelines, and any failover replacement all see
+  // the same shard count.
+  if (config_.task.aggregator_shards == 0) config_.task.aggregator_shards = 1;
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.num_aggregators);
        ++i) {
-    // Single-threaded aggregation pipeline: keeps float summation order, and
-    // therefore whole simulations, bit-for-bit reproducible.  The
-    // multi-threaded pipeline is exercised by tests/ and bench_micro_*.
+    // Single-threaded worker pools per aggregation shard: stream-to-shard
+    // placement is hash-deterministic and each shard folds its queue in
+    // arrival order, so simulations stay bit-for-bit reproducible for a
+    // given shard count (the summation order changes across shard counts).
+    // Multi-threaded pools are exercised by tests/ and bench_micro_*.
     aggregators_.push_back(std::make_unique<fl::Aggregator>(
         "agg-" + std::to_string(i), /*num_threads=*/1));
     coordinator_->register_aggregator(*aggregators_.back(), 0.0);

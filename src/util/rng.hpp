@@ -13,6 +13,16 @@
 
 namespace papaya::util {
 
+/// One SplitMix64 step as a stateless 64-bit mixer: gamma increment plus
+/// finalizer.  The single definition behind SplitMix64 streams, session
+/// tokens, and the aggregation shard ring's placement hash.
+inline std::uint64_t splitmix64_hash(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64: used to expand a single seed into xoshiro state.
 /// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
 /// generators" (OOPSLA 2014).
@@ -21,10 +31,9 @@ class SplitMix64 {
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
   std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    const std::uint64_t z = splitmix64_hash(state_);
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return z;
   }
 
  private:

@@ -139,6 +139,38 @@ TEST(Election, DemandIsZeroUntilReportsArrive) {
   EXPECT_TRUE(f.group.assign_client({}, 51.0).has_value());
 }
 
+TEST(Election, AdoptedTaskIneligibleUntilOwnerReportClaimsIt) {
+  // Regression: adopt_task leaves aggregator_id empty, and the report loop
+  // used to drop the real owner's reports as "stale" (id mismatch), so an
+  // adopted task could never become assignable — and any path that made it
+  // eligible would have handed clients an empty-string aggregator id.
+  // Adopted tasks must stay unassignable until the Aggregator actually
+  // running the task reports it, which claims ownership.
+  Aggregator owner{"agg-a"};
+  owner.assign_task(tiny_task(), std::vector<float>(2, 0.0f), {});
+  Coordinator coord;
+  coord.register_aggregator(owner, 0.0);
+  coord.adopt_task(tiny_task(), {});
+
+  // Unowned: ineligible no matter what, and not in the routing map.
+  EXPECT_FALSE(coord.assign_client({}).has_value());
+  EXPECT_EQ(coord.assignment_map().task_to_aggregator.count("t"), 0u);
+
+  // A report from an Aggregator *not* running the task must not claim it.
+  Aggregator bystander{"agg-b"};
+  coord.register_aggregator(bystander, 0.0);
+  coord.aggregator_report("agg-b", 1, 1.0, {TaskReport{"t", 4, 0}});
+  EXPECT_FALSE(coord.assign_client({}).has_value());
+
+  // The true owner's first report claims ownership and restores assignment.
+  coord.aggregator_report("agg-a", 1, 1.0, {TaskReport{"t", 4, 0}});
+  const auto assignment = coord.assign_client({});
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->task, "t");
+  EXPECT_EQ(assignment->aggregator_id, "agg-a");
+  EXPECT_EQ(coord.assignment_map().task_to_aggregator.at("t"), "agg-a");
+}
+
 TEST(Election, RevivedOldLeaderDoesNotReclaim) {
   GroupFixture f;
   f.group.fail_leader(10.0);

@@ -91,6 +91,46 @@ TEST(Failover, FailedAggregatorStaysOutOfPlacement) {
   }
 }
 
+TEST(Failover, ShardedTaskKeepsCheckpointAndShardsAcrossFailover) {
+  // detect_failures() must move a sharded task with its checkpointed model
+  // *and* its shard count, rebuilding the same sharded pipeline on the
+  // replacement Aggregator.
+  fl::Aggregator a("a"), b("b");
+  fl::Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.register_aggregator(b, 0.0);
+  fl::TaskConfig cfg = tiny_task();
+  cfg.aggregator_shards = 3;
+  coord.submit_task(cfg, std::vector<float>(2, 0.25f), {});
+  const std::string owner_id = coord.assignment_map().task_to_aggregator.at("t");
+  fl::Aggregator& owner = owner_id == "a" ? a : b;
+  fl::Aggregator& standby = owner_id == "a" ? b : a;
+  ASSERT_EQ(owner.task_shards("t"), 3u);
+
+  // Drive one server step so the checkpoint version is non-trivial.
+  ASSERT_TRUE(owner.client_join("t", 1, 0.0).accepted);
+  ASSERT_TRUE(owner.client_join("t", 2, 0.0).accepted);
+  owner.client_report("t", update(1, 0), 1.0);
+  ASSERT_TRUE(owner.client_report("t", update(2, 0), 1.0).server_stepped);
+  ASSERT_EQ(owner.model_version("t"), 1u);
+  const std::vector<float> stepped_model = owner.model("t");
+
+  coord.aggregator_report(standby.id(), 1, 100.0, {});
+  coord.detect_failures(100.0, 30.0);
+  ASSERT_TRUE(standby.has_task("t"));
+  EXPECT_EQ(standby.model_version("t"), 1u);  // checkpoint version preserved
+  EXPECT_EQ(standby.model("t"), stepped_model);
+  EXPECT_EQ(standby.task_shards("t"), 3u);    // shard config preserved
+  EXPECT_EQ(coord.task_shards("t"), 3u);
+
+  // The rebuilt sharded pipeline keeps folding on the new owner.
+  ASSERT_TRUE(standby.client_join("t", 7, 101.0).accepted);
+  ASSERT_TRUE(standby.client_join("t", 8, 101.0).accepted);
+  standby.client_report("t", update(7, 1), 102.0);
+  EXPECT_TRUE(standby.client_report("t", update(8, 1), 102.0).server_stepped);
+  EXPECT_EQ(standby.model_version("t"), 2u);
+}
+
 TEST(Failover, RecoveredAggregatorRejoinsViaReport) {
   // A failed Aggregator that starts heartbeating again becomes placeable.
   fl::Aggregator a("a"), b("b");

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
+#include <thread>
 
 #include "fl/aggregator.hpp"
 #include "fl/chunking.hpp"
@@ -16,6 +19,8 @@
 #include "fl/parallel_agg.hpp"
 #include "fl/secure_buffer.hpp"
 #include "fl/selector.hpp"
+#include "fl/shard_ring.hpp"
+#include "fl/sharded_agg.hpp"
 #include "ml/dataset.hpp"
 #include "ml/math.hpp"
 
@@ -110,6 +115,176 @@ TEST(ParallelAggregator, HighConcurrencyStress) {
   for (float v : reduced.mean_delta) EXPECT_NEAR(v, 1.0f, 1e-4);
 }
 
+TEST(ParallelAggregator, WorkerSlotsSpreadEvenly) {
+  // Regression: slots were picked by hashing std::thread::id, which gives no
+  // collision guarantee (whole pools landed on one intermediate, serializing
+  // every fold behind a single mutex).  Index-based slots cover every
+  // intermediate exactly evenly.
+  std::set<std::size_t> covered;
+  for (std::size_t worker = 0; worker < 8; ++worker) {
+    const std::size_t slot = ParallelAggregator::intermediate_slot(worker, 4);
+    EXPECT_EQ(slot, worker % 4);
+    covered.insert(slot);
+  }
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(ParallelAggregator, EnqueueConcurrentWithReduceConservesUpdates) {
+  // Regression for the reduce-vs-enqueue race: reduce_and_reset() used to
+  // read/reset intermediates while workers could still fold updates enqueued
+  // mid-reduce, silently losing them.  Hammer enqueue against concurrent
+  // reduces and assert exact conservation of count / weight / folded mass
+  // across all buffers.
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kPerProducer = 250;
+  constexpr std::size_t kModelSize = 8;
+  ParallelAggregator agg(kModelSize, /*threads=*/4, /*intermediates=*/4);
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        agg.enqueue(make_update(p * kPerProducer + i, kModelSize, 1.0f), 1.0);
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+
+  std::size_t total_count = 0;
+  double total_weight = 0.0;
+  float folded_mass = 0.0f;  // sum over buffers of (raw weighted sum)[0]
+  while (producers_done.load() < kProducers) {
+    const auto sums = agg.reduce_and_reset_sums();
+    total_count += sums.count;
+    total_weight += sums.weight_sum;
+    folded_mass += sums.mean_delta[0];
+  }
+  for (auto& t : producers) t.join();
+  const auto last = agg.reduce_and_reset_sums();
+  total_count += last.count;
+  total_weight += last.weight_sum;
+  folded_mass += last.mean_delta[0];
+
+  constexpr auto kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(total_count, kTotal);
+  EXPECT_DOUBLE_EQ(total_weight, static_cast<double>(kTotal));
+  // Unit deltas with unit weights: partial sums are exact in float.
+  EXPECT_EQ(folded_mass, static_cast<float>(kTotal));
+}
+
+// ------------------------------------------------------ Consistent hashing --
+
+TEST(ConsistentHashRing, DeterministicAndCoversAllShards) {
+  const ConsistentHashRing ring(4);
+  const ConsistentHashRing same(4);
+  std::vector<std::size_t> load(4, 0);
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    const std::size_t shard = ring.shard_for(key);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, same.shard_for(key));  // placement is seedless/stable
+    ++load[shard];
+  }
+  // Every shard owns a material share of sequential client-id streams.
+  // (Regression: vnode points and stream keys once shared a hash domain,
+  // pinning keys 0..63 onto shard 0's own vnode points.)
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(load[shard], 512u / 16) << "shard " << shard << " starved";
+  }
+}
+
+TEST(ConsistentHashRing, ReshardingMovesFewStreams) {
+  // The consistency property: growing 4 -> 5 shards must not reshuffle the
+  // world.  With vnode rings the expected churn is ~1/5 of streams; assert
+  // a loose upper bound (well under a full reshuffle's ~4/5).
+  const ConsistentHashRing before(4);
+  const ConsistentHashRing after(5);
+  constexpr std::uint64_t kStreams = 2000;
+  std::uint64_t moved = 0;
+  for (std::uint64_t key = 0; key < kStreams; ++key) {
+    moved += before.shard_for(key) != after.shard_for(key);
+  }
+  EXPECT_LT(moved, kStreams / 2);
+  EXPECT_GT(moved, 0u);  // the new shard did take over some arcs
+}
+
+// ------------------------------------------------------ Sharded aggregator --
+
+ShardedAggregator::Config sharded_config(std::size_t model_size,
+                                         std::size_t shards) {
+  ShardedAggregator::Config cfg;
+  cfg.model_size = model_size;
+  cfg.num_shards = shards;
+  cfg.threads_per_shard = 2;
+  return cfg;
+}
+
+TEST(ShardedAggregator, MatchesSingleAggregatorResult) {
+  // Cross-shard conservation: the sharded reduce over any shard count must
+  // equal the single-pipeline result for the same update set.
+  constexpr std::size_t kModelSize = 16;
+  ParallelAggregator single(kModelSize, 2, 2);
+  ShardedAggregator sharded(sharded_config(kModelSize, 4));
+  EXPECT_EQ(sharded.num_shards(), 4u);
+
+  double expected_weight = 0.0;
+  for (std::uint64_t client = 1; client <= 40; ++client) {
+    const float value = 0.25f * static_cast<float>(client % 7);
+    const double weight = 1.0 + static_cast<double>(client % 3);
+    single.enqueue(make_update(client, kModelSize, value), weight);
+    sharded.enqueue(client, make_update(client, kModelSize, value), weight);
+    expected_weight += weight;
+  }
+  const auto expected = single.reduce_and_reset();
+  const auto got = sharded.reduce_and_reset();
+  EXPECT_EQ(got.count, expected.count);
+  EXPECT_NEAR(got.weight_sum, expected_weight, 1e-9);
+  EXPECT_NEAR(got.weight_sum, expected.weight_sum, 1e-9);
+  ASSERT_EQ(got.mean_delta.size(), expected.mean_delta.size());
+  for (std::size_t i = 0; i < kModelSize; ++i) {
+    EXPECT_NEAR(got.mean_delta[i], expected.mean_delta[i], 1e-4);
+  }
+}
+
+TEST(ShardedAggregator, MalformedUpdatesDroppedPerShard) {
+  // Every shard's pipeline drops wrong-sized updates without poisoning the
+  // cross-shard reduce; keys are spread so multiple shards see one.
+  constexpr std::size_t kModelSize = 4;
+  ShardedAggregator sharded(sharded_config(kModelSize, 3));
+  std::size_t good = 0;
+  for (std::uint64_t client = 0; client < 30; ++client) {
+    if (client % 3 == 0) {
+      sharded.enqueue(client, make_update(client, kModelSize + 2, 9.0f), 1.0);
+    } else {
+      sharded.enqueue(client, make_update(client, kModelSize, 2.0f), 1.0);
+      ++good;
+    }
+  }
+  const auto reduced = sharded.reduce_and_reset();
+  EXPECT_EQ(reduced.count, good);
+  EXPECT_NEAR(reduced.weight_sum, static_cast<double>(good), 1e-9);
+  for (float v : reduced.mean_delta) EXPECT_NEAR(v, 2.0f, 1e-4);
+}
+
+TEST(ShardedAggregator, StreamsStickToTheirShard) {
+  const ShardedAggregator sharded(sharded_config(4, 4));
+  for (std::uint64_t client = 0; client < 64; ++client) {
+    EXPECT_EQ(sharded.shard_for(client), sharded.ring().shard_for(client));
+    EXPECT_EQ(sharded.shard_for(client), sharded.shard_for(client));
+  }
+}
+
+TEST(ShardedAggregator, ResetsBetweenBuffersAcrossShards) {
+  ShardedAggregator sharded(sharded_config(2, 2));
+  sharded.enqueue(1, make_update(1, 2, 1.0f), 1.0);
+  sharded.enqueue(2, make_update(2, 2, 3.0f), 1.0);
+  (void)sharded.reduce_and_reset();
+  sharded.enqueue(3, make_update(3, 2, 5.0f), 1.0);
+  const auto second = sharded.reduce_and_reset();
+  EXPECT_EQ(second.count, 1u);
+  EXPECT_NEAR(second.mean_delta[0], 5.0f, 1e-6);
+}
+
 // -------------------------------------------------------------- Aggregator --
 
 TaskConfig async_task(std::size_t concurrency, std::size_t goal,
@@ -173,6 +348,47 @@ TEST(Aggregator, AsyncGoalTriggersServerStep) {
   EXPECT_EQ(agg.model_version("lm"), 1u);
   EXPECT_EQ(agg.stats("lm").server_steps, 1u);
   EXPECT_EQ(agg.stats("lm").updates_applied, 3u);
+}
+
+TEST(Aggregator, ShardedTaskMatchesSinglePipelineStep) {
+  // The same joins/reports through a 1-shard and a 4-shard task must yield
+  // the same server step (cross-shard reduce conserves the weighted mean).
+  auto run = [](std::size_t shards) {
+    Aggregator agg("a");
+    TaskConfig cfg = async_task(10, 4);
+    cfg.aggregator_shards = shards;
+    agg.assign_task(cfg, std::vector<float>(4, 0.0f), {.lr = 0.1f});
+    EXPECT_EQ(agg.task_shards("lm"), shards == 0 ? 1 : shards);
+    for (std::uint64_t c = 1; c <= 4; ++c) agg.client_join("lm", c, 0.0);
+    ReportResult last;
+    for (std::uint64_t c = 1; c <= 4; ++c) {
+      last = agg.client_report(
+          "lm", update_from(c, 0, 4, 0.1f * static_cast<float>(c)), 1.0);
+    }
+    EXPECT_TRUE(last.server_stepped);
+    EXPECT_EQ(agg.model_version("lm"), 1u);
+    return agg.model("lm");
+  };
+  const auto single = run(1);
+  const auto sharded = run(4);
+  ASSERT_EQ(single.size(), sharded.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_NEAR(single[i], sharded[i], 1e-5);
+  }
+}
+
+TEST(Aggregator, ShardedTaskDropsMalformedPerShard) {
+  Aggregator agg("a");
+  TaskConfig cfg = async_task(10, 2);
+  cfg.aggregator_shards = 3;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+  for (std::uint64_t c = 1; c <= 3; ++c) agg.client_join("lm", c, 0.0);
+  // A wrong-sized update still counts toward the goal (the client reported
+  // in time) but must not poison any shard's fold.
+  agg.client_report("lm", update_from(1, 0, /*model_size=*/2), 1.0);
+  const auto r = agg.client_report("lm", update_from(2, 0, 4, 1.0f), 1.0);
+  EXPECT_TRUE(r.server_stepped);
+  for (float v : agg.model("lm")) EXPECT_GT(v, 0.0f);
 }
 
 TEST(Aggregator, ServerStepMovesModelInDeltaDirection) {
@@ -442,6 +658,49 @@ TEST(Coordinator, FailureDetectionReassignsTasks) {
   EXPECT_TRUE(other.has_task("lm"));
   // Model state survived the move (checkpoint semantics).
   EXPECT_FLOAT_EQ(other.model("lm")[0], 0.5f);
+}
+
+TEST(Coordinator, TracksAndNormalizesShardCounts) {
+  Aggregator a("a");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  TaskConfig sharded = async_task(5, 2);
+  sharded.aggregator_shards = 4;
+  coord.submit_task(sharded, std::vector<float>(4, 0.0f), {});
+  EXPECT_EQ(coord.task_shards("lm"), 4u);
+  EXPECT_EQ(a.task_shards("lm"), 4u);
+
+  TaskConfig zero = async_task(5, 2);
+  zero.name = "z";
+  zero.aggregator_shards = 0;  // normalized to 1 at the placement boundary
+  coord.submit_task(zero, std::vector<float>(4, 0.0f), {});
+  EXPECT_EQ(coord.task_shards("z"), 1u);
+  EXPECT_EQ(a.task_shards("z"), 1u);
+  EXPECT_EQ(coord.task_shards("unknown"), 0u);
+}
+
+TEST(Coordinator, ShardingDoesNotSkewPlacementLoad) {
+  // All of a task's shards run on its one owning Aggregator, so sharding
+  // must not change the placement weight (dividing by the shard count would
+  // under-report load on exactly the busiest host).
+  TaskConfig sharded = async_task(64, 2, /*model_size=*/64);
+  sharded.aggregator_shards = 8;
+  TaskConfig unsharded = async_task(64, 2, /*model_size=*/64);
+  EXPECT_DOUBLE_EQ(sharded.estimated_workload(),
+                   unsharded.estimated_workload());
+
+  // Two equally-heavy tasks — one sharded, one not — spread across two
+  // Aggregators instead of stacking on the sharded task's host.
+  Aggregator a("a"), b("b");
+  Coordinator coord;
+  coord.register_aggregator(a, 0.0);
+  coord.register_aggregator(b, 0.0);
+  sharded.name = "sharded";
+  coord.submit_task(sharded, std::vector<float>(64, 0.0f), {});
+  unsharded.name = "heavy";
+  coord.submit_task(unsharded, std::vector<float>(64, 0.0f), {});
+  EXPECT_NE(coord.assignment_map().task_to_aggregator.at("heavy"),
+            coord.assignment_map().task_to_aggregator.at("sharded"));
 }
 
 TEST(Coordinator, RecoveryRebuildsMapFromAggregators) {

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "fl/session.hpp"
+#include "fl/shard_ring.hpp"
 
 namespace papaya::fl {
 namespace {
@@ -25,6 +26,28 @@ TEST(VirtualSession, OpensInSelectedStage) {
   EXPECT_EQ(info->client_id, 42u);
   EXPECT_EQ(info->stage, SessionStage::kSelected);
   EXPECT_EQ(mgr.active_sessions(), 1u);
+}
+
+TEST(VirtualSession, StampsStreamShardFromTaskRing) {
+  // A session records the aggregation shard its client's update stream
+  // consistent-hashes to — the same ring the ShardedAggregator uses — so
+  // the upload stage can route straight to the owning shard's queue.
+  VirtualSessionManager::Options opts;
+  opts.aggregator_shards = 4;
+  VirtualSessionManager mgr(opts);
+  const ConsistentHashRing ring(4);
+  std::set<std::size_t> shards_seen;
+  for (std::uint64_t client = 0; client < 64; ++client) {
+    const auto info = mgr.lookup(mgr.open(client, 0.0));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->shard, ring.shard_for(client));
+    shards_seen.insert(info->shard);
+  }
+  EXPECT_EQ(shards_seen.size(), 4u);
+
+  // Default (unsharded) tables stamp shard 0 for every session.
+  VirtualSessionManager unsharded;
+  EXPECT_EQ(unsharded.lookup(unsharded.open(7, 0.0))->shard, 0u);
 }
 
 TEST(VirtualSession, TokensAreUniqueAndNonZero) {
