@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Docs link checker: fail on dead *relative* links in the repo's Markdown.
+#
+# Scans every tracked *.md for inline links [text](target) and verifies that
+# relative targets exist on disk (anchors and queries are stripped first).
+# External schemes (http/https/mailto) and pure in-page anchors (#...) are
+# skipped — this guards the docs' internal wiring, not the internet.
+#
+# Usage: scripts/check_docs_links.sh   (exits non-zero on any dead link)
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  mapfile -t md_files < <(git ls-files '*.md')
+else
+  mapfile -t md_files < <(find . -name '*.md' -not -path './build*/*')
+fi
+
+failures=0
+checked=0
+
+for md in "${md_files[@]}"; do
+  dir="$(dirname "$md")"
+  # Inline links only; reference-style links are rare enough here to skip.
+  # The grep emits "line:target" pairs for every [..](..) occurrence.
+  while IFS=: read -r line target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"     # strip anchor
+    path="${path%%\?*}"      # strip query
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "dead link: $md:$line -> $target" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -no -E '\[[^][]*\]\([^()[:space:]]+\)' "$md" 2>/dev/null |
+           sed -E 's/^([0-9]+):\[[^][]*\]\(([^()[:space:]]+)\)$/\1:\2/')
+done
+
+echo "checked $checked relative links in ${#md_files[@]} markdown files," \
+     "$failures dead"
+[ "$failures" -eq 0 ]

@@ -37,6 +37,23 @@ class ChaCha20 {
   /// word-by-word from the stream.
   std::uint32_t next_u32();
 
+  /// Fill `out` with keystream words.  Bit-identical to calling next_u32()
+  /// out.size() times, but whole blocks are produced straight from the core
+  /// without the per-byte buffer bookkeeping.
+  void keystream_words(std::span<std::uint32_t> out);
+
+  /// Multi-stream keystream: fill outs[s][0..n) for every cipher in
+  /// `streams`, generating blocks for up to kMultiStreamLanes streams in
+  /// lockstep.  The working state is kept stream-major (state word x lane)
+  /// so the quarter-round arithmetic runs across independent lanes — a shape
+  /// the compiler auto-vectorizes — and each tile's state block stays
+  /// cache-resident for the whole expansion.  Per-stream output is
+  /// bit-identical to streams[s]->keystream_words({outs[s], n}).
+  static constexpr std::size_t kMultiStreamLanes = 8;
+  static void keystream_words_multi(std::span<ChaCha20* const> streams,
+                                    std::span<std::uint32_t* const> outs,
+                                    std::size_t n);
+
  private:
   void refill();
 
@@ -56,6 +73,13 @@ class MaskPrng {
 
   /// Fill a vector of n mask words.
   std::vector<std::uint32_t> words(std::size_t n);
+
+  /// Batched expansion: outs[i][0..n) receives the words MaskPrng(seed_i)
+  /// would produce, for `prngs.size()` independent PRNGs, via the
+  /// multi-stream ChaCha20 path.
+  static void fill_words_multi(std::span<MaskPrng* const> prngs,
+                               std::span<std::uint32_t* const> outs,
+                               std::size_t n);
 
  private:
   ChaCha20 cipher_;

@@ -1,5 +1,6 @@
 #include "fl/aggregator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -52,12 +53,14 @@ void Aggregator::assign_task(const TaskConfig& config,
   pipeline_cfg.threads_per_shard = num_threads_;
   pipeline_cfg.intermediates_per_shard = num_threads_;
   pipeline_cfg.clip_norm = config.dp.enabled ? config.dp.clip_norm : 0.0f;
+  pipeline_cfg.drain_batch = config.aggregation_batch_size;
   ts.pipeline = std::make_unique<ShardedAggregator>(pipeline_cfg);
   ts.dp_rng.reseed(std::hash<std::string>{}(config.name) ^ 0xd9ULL);
   if (config.secagg_enabled) {
     ts.secure = std::make_unique<SecureBufferManager>(
         config.model_size, config.aggregation_goal,
-        std::hash<std::string>{}(config.name) ^ 0x5ecULL);
+        std::hash<std::string>{}(config.name) ^ 0x5ecULL,
+        config.aggregation_batch_size);
   }
   tasks_.insert_or_assign(config.name, std::move(ts));
 }
@@ -263,17 +266,30 @@ ReportResult Aggregator::client_report_secure(const std::string& task,
 
   const double weight = secure_update_weight(task, report.num_examples);
   const SecureSubmitOutcome outcome = ts.secure->submit(report, weight);
-  if (outcome != SecureSubmitOutcome::kAccepted) {
+  if (outcome != SecureSubmitOutcome::kAccepted &&
+      outcome != SecureSubmitOutcome::kBuffered) {
     // Tampered/replayed/epoch-expired contributions are dropped; the client
     // slot is freed so a replacement can be selected.
     ts.active.erase(it);
     ++ts.stats.updates_discarded;
     return {ReportOutcome::kRejectedUnknown, false, {}};
   }
-
   ts.active.erase(it);
   if (ts.config.mode == TrainingMode::kSync) ++ts.completed_this_round;
   ++ts.buffered;
+
+  // Batched mode: this submit may have flushed buffered reports, whose TSA
+  // rejections only surface now.  Un-count them the way a synchronous
+  // kTsaRejected never counted: as discarded, not buffered, and not
+  // completing a SyncFL slot — so the round's demand frees up and a
+  // replacement client can be selected, exactly as in per-update mode.
+  if (const std::size_t rejected = ts.secure->take_rejected(); rejected > 0) {
+    ts.stats.updates_discarded += rejected;
+    ts.buffered -= std::min(ts.buffered, rejected);
+    if (ts.config.mode == TrainingMode::kSync) {
+      ts.completed_this_round -= std::min(ts.completed_this_round, rejected);
+    }
+  }
 
   ReportResult result{ReportOutcome::kAccepted, false, {}};
   if (ts.secure->goal_reached()) {

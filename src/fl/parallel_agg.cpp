@@ -1,5 +1,6 @@
 #include "fl/parallel_agg.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "fl/model_update.hpp"
@@ -10,9 +11,11 @@ namespace papaya::fl {
 ParallelAggregator::ParallelAggregator(std::size_t model_size,
                                        std::size_t num_threads,
                                        std::size_t num_intermediates,
-                                       float clip_norm)
+                                       float clip_norm,
+                                       std::size_t drain_batch)
     : model_size_(model_size),
       clip_norm_(clip_norm),
+      drain_batch_(drain_batch == 0 ? 1 : drain_batch),
       intermediates_(num_intermediates == 0 ? 1 : num_intermediates),
       intermediate_locks_(intermediates_.size()) {
   if (model_size == 0) {
@@ -53,43 +56,53 @@ void ParallelAggregator::worker_loop(std::size_t worker_index) {
   const std::size_t slot =
       intermediate_slot(worker_index, intermediates_.size());
 
+  std::vector<std::pair<util::Bytes, double>> run;
+  run.reserve(drain_batch_);
   for (;;) {
-    std::pair<util::Bytes, double> item;
+    // Drain up to drain_batch_ queued updates in one queue-lock acquisition
+    // (TaskConfig::aggregation_batch_size).  The run is folded in FIFO order
+    // into this worker's own slot, so batching changes only lock traffic,
+    // not which folds happen or their per-slot order.
+    run.clear();
     {
       std::unique_lock lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
         return stopping_ || (!paused_ && !queue_.empty());
       });
       if (queue_.empty()) return;  // stopping
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      ++inflight_;
+      const std::size_t take = std::min(drain_batch_, queue_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        run.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      inflight_ += take;
     }
 
-    ModelUpdate update = ModelUpdate::deserialize(item.first);
-    if (update.delta.size() == model_size_ && clip_norm_ > 0.0f) {
-      ml::clip_norm(update.delta, clip_norm_);
+    // Deserialize and clip outside any lock; a malformed update must not
+    // poison the aggregate, so it simply drops out of the run.
+    std::vector<std::pair<ModelUpdate, double>> folds;
+    folds.reserve(run.size());
+    for (auto& [bytes, weight] : run) {
+      ModelUpdate update = ModelUpdate::deserialize(bytes);
+      if (update.delta.size() != model_size_) continue;
+      if (clip_norm_ > 0.0f) ml::clip_norm(update.delta, clip_norm_);
+      folds.emplace_back(std::move(update), weight);
     }
-    if (update.delta.size() != model_size_) {
-      // A malformed update must not poison the aggregate; drop it.
-      std::lock_guard lock(queue_mutex_);
-      --inflight_;
-      drained_cv_.notify_all();
-      continue;
-    }
-    const float w = static_cast<float>(item.second);
-    {
+    if (!folds.empty()) {
       std::lock_guard inter_lock(intermediate_locks_[slot]);
       Intermediate& inter = intermediates_[slot];
-      for (std::size_t i = 0; i < model_size_; ++i) {
-        inter.weighted_delta[i] += w * update.delta[i];
+      for (const auto& [update, weight] : folds) {
+        const float w = static_cast<float>(weight);
+        for (std::size_t i = 0; i < model_size_; ++i) {
+          inter.weighted_delta[i] += w * update.delta[i];
+        }
+        inter.weight_sum += weight;
+        ++inter.count;
       }
-      inter.weight_sum += item.second;
-      ++inter.count;
     }
     {
       std::lock_guard lock(queue_mutex_);
-      --inflight_;
+      inflight_ -= run.size();
     }
     drained_cv_.notify_all();
   }

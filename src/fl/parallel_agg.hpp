@@ -48,9 +48,14 @@ class ParallelAggregator {
  public:
   /// `clip_norm` > 0 rescales each deserialized delta to at most that L2
   /// norm before aggregation (per-update clipping for differential
-  /// privacy).
+  /// privacy).  `drain_batch` is the number of queued updates a worker pops
+  /// per wakeup (>= 1): one queue-lock acquisition and one
+  /// intermediate-lock acquisition amortize over the whole run, and each
+  /// popped run is folded in FIFO order into the worker's own slot, so the
+  /// folds are the same as per-update draining would perform.
   ParallelAggregator(std::size_t model_size, std::size_t num_threads,
-                     std::size_t num_intermediates, float clip_norm = 0.0f);
+                     std::size_t num_intermediates, float clip_norm = 0.0f,
+                     std::size_t drain_batch = 1);
   ~ParallelAggregator();
 
   ParallelAggregator(const ParallelAggregator&) = delete;
@@ -93,6 +98,7 @@ class ParallelAggregator {
 
   const std::size_t model_size_;
   const float clip_norm_;
+  const std::size_t drain_batch_;
   std::vector<Intermediate> intermediates_;
   std::vector<std::mutex> intermediate_locks_;
 

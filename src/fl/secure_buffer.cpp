@@ -14,10 +14,12 @@ std::size_t messages_per_epoch(std::size_t goal) { return 2 * goal + 4; }
 }  // namespace
 
 SecureBufferManager::SecureBufferManager(std::size_t model_size,
-                                         std::size_t goal, std::uint64_t seed)
+                                         std::size_t goal, std::uint64_t seed,
+                                         std::size_t batch_size)
     : model_size_(model_size),
       goal_(goal),
       seed_(seed),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
       platform_(seed ^ 0x5ec9ULL),
       binary_measurement_(
           crypto::Sha256::hash(std::string("papaya-tsa-trusted-binary-v1"))) {
@@ -35,8 +37,17 @@ void SecureBufferManager::rotate_epoch() {
       crypto::DhParams::simulation256(),
       secagg::SecAggParams{model_size_, goal_}, messages_per_epoch(goal_),
       platform_, binary_measurement_, seed_ ^ (epoch_ * 0x9e37ULL));
-  session_ = std::make_unique<secagg::SecureAggregationSession>(
-      *tsa_, model_size_, goal_);
+  if (batch_size_ > 1) {
+    batched_session_ = std::make_unique<secagg::BatchedSecureAggregationSession>(
+        *tsa_, model_size_, goal_);
+    session_.reset();
+  } else {
+    session_ = std::make_unique<secagg::SecureAggregationSession>(
+        *tsa_, model_size_, goal_);
+    batched_session_.reset();
+  }
+  pending_.clear();
+  pending_weights_.clear();
   next_message_ = 0;
   accepted_ = 0;
   weight_sum_ = 0.0;
@@ -84,17 +95,55 @@ std::optional<SecureReport> SecureBufferManager::prepare_report(
 SecureSubmitOutcome SecureBufferManager::submit(const SecureReport& report,
                                                 double weight) {
   if (report.epoch != epoch_) return SecureSubmitOutcome::kWrongEpoch;
-  const secagg::TsaAccept verdict = session_->accept(report.contribution);
-  if (verdict != secagg::TsaAccept::kAccepted) {
-    return SecureSubmitOutcome::kTsaRejected;
+  if (batch_size_ <= 1) {
+    const secagg::TsaAccept verdict = session_->accept(report.contribution);
+    if (verdict != secagg::TsaAccept::kAccepted) {
+      return SecureSubmitOutcome::kTsaRejected;
+    }
+    ++accepted_;
+    weight_sum_ += weight;
+    return SecureSubmitOutcome::kAccepted;
   }
-  ++accepted_;
-  weight_sum_ += weight;
-  return SecureSubmitOutcome::kAccepted;
+  // Batched mode: buffer, and flush when a batch is full or when the flush
+  // could complete the aggregation goal.  The goal condition makes forward
+  // progress independent of the batch size: the epoch finalizes after the
+  // same accepted contribution as per-update mode would.
+  pending_.push_back(report.contribution);
+  pending_weights_.push_back(weight);
+  if (pending_.size() >= batch_size_ ||
+      accepted_ + pending_.size() >= goal_) {
+    flush_pending();
+  }
+  return SecureSubmitOutcome::kBuffered;
+}
+
+void SecureBufferManager::flush_pending() {
+  if (pending_.empty()) return;
+  const std::vector<secagg::TsaAccept> verdicts =
+      batched_session_->accept_batch(pending_);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (verdicts[i] == secagg::TsaAccept::kAccepted) {
+      ++accepted_;
+      weight_sum_ += pending_weights_[i];
+    } else {
+      ++rejected_unclaimed_;
+    }
+  }
+  pending_.clear();
+  pending_weights_.clear();
+}
+
+std::size_t SecureBufferManager::take_rejected() {
+  const std::size_t out = rejected_unclaimed_;
+  rejected_unclaimed_ = 0;
+  return out;
 }
 
 std::optional<std::vector<float>> SecureBufferManager::finalize_mean() {
-  const auto decoded = session_->finalize_decoded(fixed_point_);
+  if (batch_size_ > 1) flush_pending();
+  const auto decoded = batch_size_ > 1
+                           ? batched_session_->finalize_decoded(fixed_point_)
+                           : session_->finalize_decoded(fixed_point_);
   if (!decoded) return std::nullopt;
   std::vector<float> mean = *decoded;
   if (weight_sum_ > 0.0) {

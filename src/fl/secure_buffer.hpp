@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "secagg/secagg_batch.hpp"
 #include "secagg/secagg_client.hpp"
 #include "secagg/secagg_server.hpp"
 #include "secagg/tsa.hpp"
@@ -48,6 +49,7 @@ struct SecureReport {
 
 enum class SecureSubmitOutcome {
   kAccepted,
+  kBuffered,       ///< batched mode: admitted, TSA verdict lands at flush
   kWrongEpoch,     ///< prepared against an already-released masking epoch
   kExhausted,      ///< no initial messages left in this epoch
   kTsaRejected,    ///< TSA refused (tampered/replayed/bad key)
@@ -57,9 +59,16 @@ enum class SecureSubmitOutcome {
 class SecureBufferManager {
  public:
   /// `goal` is the aggregation goal; each epoch pre-generates enough initial
-  /// messages for the goal plus in-flight overshoot.
+  /// messages for the goal plus in-flight overshoot.  `batch_size` > 1
+  /// switches the TSA hand-off to the batched pipeline: reports are buffered
+  /// and flushed `batch_size` at a time (or as soon as the flush could reach
+  /// the goal) through BatchedSecureAggregationSession — one TSA boundary
+  /// crossing, multi-stream mask expansion, and one blocked fold per batch.
+  /// The accepted set and the unmasked aggregate are bit-identical to
+  /// per-update mode; only when verdicts surface changes (kBuffered now,
+  /// rejections via take_rejected() after the flush).
   SecureBufferManager(std::size_t model_size, std::size_t goal,
-                      std::uint64_t seed);
+                      std::uint64_t seed, std::size_t batch_size = 1);
 
   /// Server -> client: upload configuration for the current epoch.  Each
   /// call consumes one initial message (they are single-use).  Returns
@@ -67,12 +76,20 @@ class SecureBufferManager {
   /// epoch).
   std::optional<SecureUploadConfig> next_upload_config();
 
-  /// Client -> server: submit a secure report.
+  /// Client -> server: submit a secure report.  In batched mode an admitted
+  /// report returns kBuffered; its TSA verdict is decided at the next flush
+  /// (pending-full, or the flush could reach the goal).
   SecureSubmitOutcome submit(const SecureReport& report, double weight);
 
+  /// Reports rejected by the TSA during batched flushes since the last call
+  /// (the deferred analogue of a synchronous kTsaRejected).  Resets on read.
+  std::size_t take_rejected();
+
   std::size_t accepted_count() const { return accepted_; }
+  std::size_t pending_count() const { return pending_.size(); }
   bool goal_reached() const { return accepted_ >= goal_; }
   std::uint64_t epoch() const { return epoch_; }
+  std::size_t batch_size() const { return batch_size_; }
 
   /// Unmask, decode, divide by the accumulated weight sum, rotate to a new
   /// epoch.  Returns nullopt if the TSA refuses (below goal).
@@ -96,10 +113,14 @@ class SecureBufferManager {
 
  private:
   void rotate_epoch();
+  /// Batched mode: push every pending contribution through the TSA in one
+  /// batch, crediting accepted weights and recording rejections.
+  void flush_pending();
 
   std::size_t model_size_;
   std::size_t goal_;
   std::uint64_t seed_;
+  std::size_t batch_size_;
   std::uint64_t epoch_ = 0;
 
   secagg::SimulatedEnclavePlatform platform_;
@@ -109,7 +130,16 @@ class SecureBufferManager {
   secagg::FixedPointParams fixed_point_;
 
   std::unique_ptr<secagg::TrustedSecureAggregator> tsa_;
+  /// Exactly one of the two sessions is live per epoch: sequential when
+  /// batch_size_ <= 1, batched otherwise.
   std::unique_ptr<secagg::SecureAggregationSession> session_;
+  std::unique_ptr<secagg::BatchedSecureAggregationSession> batched_session_;
+  /// Batched mode: admitted contributions awaiting a flush (contiguous, so
+  /// a flush hands the whole pending run to accept_batch as one span), with
+  /// their weights alongside.
+  std::vector<secagg::ClientContribution> pending_;
+  std::vector<double> pending_weights_;
+  std::size_t rejected_unclaimed_ = 0;
   std::size_t next_message_ = 0;
   std::size_t accepted_ = 0;
   double weight_sum_ = 0.0;

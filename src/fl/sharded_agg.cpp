@@ -18,7 +18,8 @@ ShardedAggregator::ShardedAggregator(const Config& config)
   shards_.reserve(ring_.num_shards());
   for (std::size_t s = 0; s < ring_.num_shards(); ++s) {
     shards_.push_back(std::make_unique<ParallelAggregator>(
-        model_size_, threads, intermediates, config.clip_norm));
+        model_size_, threads, intermediates, config.clip_norm,
+        config.drain_batch));
   }
 }
 

@@ -40,6 +40,10 @@ class ShardedAggregator {
     std::size_t vnodes_per_shard = 64;
     /// Per-update L2 clip applied by every shard (0 disables).
     float clip_norm = 0.0f;
+    /// Queued updates a shard worker pops per wakeup (0 normalized to 1):
+    /// TaskConfig::aggregation_batch_size, amortizing queue and
+    /// intermediate lock traffic without changing the folds.
+    std::size_t drain_batch = 1;
   };
 
   explicit ShardedAggregator(const Config& config);

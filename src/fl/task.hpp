@@ -49,6 +49,16 @@ struct TaskConfig {
   /// normalized to 1) keeps the single-pipeline behaviour.
   std::size_t aggregator_shards = 1;
 
+  /// Server-side aggregation batch size.  Under SecAgg, contributions are
+  /// buffered and handed to the TSA in batches of this size
+  /// (BatchedSecureAggregationSession: one boundary crossing, multi-stream
+  /// mask expansion, one blocked fold per batch); on the plaintext path each
+  /// aggregation-shard worker drains up to this many queued updates per
+  /// wakeup.  1 (or 0, normalized to 1) keeps per-update processing.  The
+  /// aggregate is bit-identical either way — Z_{2^32} (and float fold order
+  /// per worker) is unchanged; only the amortization changes.
+  std::size_t aggregation_batch_size = 1;
+
   /// Whether updates travel through Asynchronous SecAgg.
   bool secagg_enabled = false;
 

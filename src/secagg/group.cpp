@@ -1,5 +1,6 @@
 #include "secagg/group.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace papaya::secagg {
@@ -13,6 +14,17 @@ void check_sizes(std::size_t a, std::size_t b) {
 void add_in_place(GroupVec& out, std::span<const std::uint32_t> rhs) {
   check_sizes(out.size(), rhs.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += rhs[i];
+}
+
+void add_rows_in_place(GroupVec& out,
+                       std::span<const std::uint32_t* const> rows) {
+  constexpr std::size_t kBlockWords = 4096;  // 16 KB: half a typical L1d
+  for (std::size_t base = 0; base < out.size(); base += kBlockWords) {
+    const std::size_t len = std::min(kBlockWords, out.size() - base);
+    for (const std::uint32_t* row : rows) {
+      for (std::size_t i = 0; i < len; ++i) out[base + i] += row[base + i];
+    }
+  }
 }
 
 void sub_in_place(GroupVec& out, std::span<const std::uint32_t> rhs) {

@@ -19,6 +19,14 @@ using GroupVec = std::vector<std::uint32_t>;
 /// out[i] += rhs[i] (mod 2^32).  Sizes must match.
 void add_in_place(GroupVec& out, std::span<const std::uint32_t> rhs);
 
+/// out[i] += sum over all rows r of rows[r][i] (mod 2^32).  Every row must
+/// have out.size() elements.  Blocked: each cache-sized block of `out` is
+/// folded against all K rows while it is resident, instead of K full-vector
+/// strided passes.  Addition in Z_{2^32} is associative and commutative, so
+/// the result is bit-identical to K sequential add_in_place calls.
+void add_rows_in_place(GroupVec& out,
+                       std::span<const std::uint32_t* const> rows);
+
 /// out[i] -= rhs[i] (mod 2^32).  Sizes must match.
 void sub_in_place(GroupVec& out, std::span<const std::uint32_t> rhs);
 

@@ -1,0 +1,64 @@
+#include "secagg/secagg_batch.hpp"
+
+#include <stdexcept>
+
+namespace papaya::secagg {
+
+BatchedSecureAggregationSession::BatchedSecureAggregationSession(
+    TrustedSecureAggregator& tsa, std::size_t vector_length,
+    std::size_t aggregation_goal)
+    : tsa_(tsa), masked_sum_(vector_length, 0), goal_(aggregation_goal) {
+  if (aggregation_goal == 0) {
+    throw std::invalid_argument(
+        "BatchedSecureAggregationSession: goal must be > 0");
+  }
+}
+
+std::vector<TsaAccept> BatchedSecureAggregationSession::accept_batch(
+    std::span<const ClientContribution> batch) {
+  for (const ClientContribution& c : batch) {
+    if (c.masked_update.size() != masked_sum_.size()) {
+      throw std::invalid_argument(
+          "BatchedSecureAggregationSession: wrong update size");
+    }
+  }
+  if (batch.empty()) return {};
+
+  // One TSA crossing for the whole batch (verification + bulk unmask
+  // material on the trusted side).
+  std::vector<TrustedSecureAggregator::ContributionRef> refs;
+  refs.reserve(batch.size());
+  for (const ClientContribution& c : batch) {
+    refs.push_back({c.message_index, c.completing_message, &c.sealed_seed,
+                    /*sequence=*/c.message_index});
+  }
+  const std::vector<TsaAccept> verdicts = tsa_.process_contributions(refs);
+
+  // Fold every accepted masked update in one blocked reduction.  A rejected
+  // contribution is simply absent from `rows` — it discards only itself.
+  std::vector<const std::uint32_t*> rows;
+  rows.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (verdicts[i] == TsaAccept::kAccepted) {
+      rows.push_back(batch[i].masked_update.data());
+    }
+  }
+  add_rows_in_place(masked_sum_, rows);
+  accepted_ += rows.size();
+  return verdicts;
+}
+
+std::optional<GroupVec> BatchedSecureAggregationSession::finalize() {
+  const auto mask_sum = tsa_.request_unmask();
+  if (!mask_sum) return std::nullopt;
+  return unmask(masked_sum_, *mask_sum);
+}
+
+std::optional<std::vector<float>>
+BatchedSecureAggregationSession::finalize_decoded(const FixedPointParams& fp) {
+  const auto sum = finalize();
+  if (!sum) return std::nullopt;
+  return decode(*sum, fp);
+}
+
+}  // namespace papaya::secagg

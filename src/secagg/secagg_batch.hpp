@@ -1,0 +1,67 @@
+#pragma once
+// Batched untrusted-server side of Asynchronous SecAgg (Fig. 16 steps 5, 7,
+// 8), amortizing the per-update crypto control path across a whole batch of
+// contributions.
+//
+// SecureAggregationSession pays the full control path K times: one TSA
+// boundary crossing, one DH key recovery, one sealed-seed decrypt, one
+// scalar mask expansion, and one full-vector fold per accept() call.  This
+// session accepts a std::span of contributions instead: the TSA verifies
+// the batch in one crossing, expands all accepted masks with the
+// multi-stream ChaCha20 path, and the server folds all accepted masked
+// updates into the running sum with one cache-blocked reduction.
+//
+// Semantics are preserved exactly.  Z_{2^32} addition is associative and
+// commutative, so the batched fold is bit-identical to the sequential one;
+// a rejected contribution discards only itself (its verdict slot says why);
+// and accepted counts, index consumption, and release behaviour match what
+// K sequential accept() calls would have produced.
+
+#include <optional>
+#include <vector>
+
+#include "secagg/fixed_point.hpp"
+#include "secagg/secagg_client.hpp"
+#include "secagg/tsa.hpp"
+
+namespace papaya::secagg {
+
+/// Batch-mode counterpart of SecureAggregationSession: same protocol role,
+/// same TSA, but contributions arrive aggregation-pipeline batches at a
+/// time (size chosen by the serving layer, e.g. TaskConfig batch size).
+class BatchedSecureAggregationSession {
+ public:
+  BatchedSecureAggregationSession(TrustedSecureAggregator& tsa,
+                                  std::size_t vector_length,
+                                  std::size_t aggregation_goal);
+
+  /// Step 5, batched: verdicts[i] is exactly what a sequential accept of
+  /// batch[i] would have returned (duplicate indices within the batch
+  /// resolve in batch order).  Accepted masked updates are folded into the
+  /// running sum with one blocked reduction; rejected ones are discarded
+  /// individually.  Throws if any contribution has the wrong vector length
+  /// (checked up front, before anything is processed).
+  std::vector<TsaAccept> accept_batch(
+      std::span<const ClientContribution> batch);
+
+  std::size_t accepted_count() const { return accepted_; }
+  bool goal_reached() const { return accepted_ >= goal_; }
+
+  /// The running masked sum (exposed so equivalence tests can compare the
+  /// batched fold bit-for-bit against the sequential session's).
+  const GroupVec& masked_sum() const { return masked_sum_; }
+
+  /// Steps 7–8: identical to SecureAggregationSession::finalize().
+  std::optional<GroupVec> finalize();
+
+  /// Convenience: finalize and decode to floats.
+  std::optional<std::vector<float>> finalize_decoded(const FixedPointParams& fp);
+
+ private:
+  TrustedSecureAggregator& tsa_;
+  GroupVec masked_sum_;
+  std::size_t goal_;
+  std::size_t accepted_ = 0;
+};
+
+}  // namespace papaya::secagg

@@ -56,10 +56,13 @@ void NaiveTeeAggregator::submit_update(
 }
 
 std::optional<GroupVec> NaiveTeeAggregator::release() {
-  boundary_.record_call(0, count_ >= threshold_
-                               ? sum_.size() * sizeof(std::uint32_t)
-                               : 1);
+  // A refusal exports nothing (0-byte status); the aggregate's bytes cross
+  // the boundary exactly once, on the first successful release.
+  const bool first_release = count_ >= threshold_ && !released_;
+  boundary_.record_call(
+      0, first_release ? sum_.size() * sizeof(std::uint32_t) : 0);
   if (count_ < threshold_) return std::nullopt;
+  released_ = true;
   return sum_;
 }
 

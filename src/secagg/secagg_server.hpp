@@ -34,6 +34,10 @@ class SecureAggregationSession {
   std::size_t accepted_count() const { return accepted_; }
   bool goal_reached() const { return accepted_ >= goal_; }
 
+  /// The running masked sum (exposed so equivalence tests can compare the
+  /// sequential fold bit-for-bit against the batched session's).
+  const GroupVec& masked_sum() const { return masked_sum_; }
+
   /// Steps 7–8: request the unmasking vector and recover the plaintext sum
   /// of group elements.  Returns nullopt if the TSA refuses (threshold not
   /// met or already released).
@@ -61,6 +65,10 @@ class NaiveTeeAggregator {
   void submit_update(std::span<const std::uint32_t> encrypted_update);
 
   /// Pull the aggregate back out (only when >= threshold updates arrived).
+  /// Metering matches how Fig. 6 counts boundary traffic: a below-threshold
+  /// refusal moves nothing (a 0-byte status call), and the aggregate's bytes
+  /// are charged exactly once — repeated calls after a release re-serve the
+  /// already-exported sum without re-crossing it.
   std::optional<GroupVec> release();
 
   const BoundaryMeter& boundary() const { return boundary_; }
@@ -69,6 +77,7 @@ class NaiveTeeAggregator {
   GroupVec sum_;
   std::size_t threshold_;
   std::size_t count_ = 0;
+  bool released_ = false;
   BoundaryMeter boundary_;
 };
 

@@ -53,15 +53,9 @@ TrustedSecureAggregator::TrustedSecureAggregator(
   }
 }
 
-TsaAccept TrustedSecureAggregator::process_contribution(
+TsaAccept TrustedSecureAggregator::admit_contribution(
     std::uint64_t index, std::span<const std::uint8_t> completing_message,
-    const crypto::SealedBox& sealed_seed, std::uint64_t sequence) {
-  // Everything entering the enclave is metered: index + completing message +
-  // sealed seed in; a one-byte status out.
-  boundary_.record_call(
-      sizeof(index) + completing_message.size() + sealed_seed.ciphertext.size(),
-      1);
-
+    const crypto::SealedBox& sealed_seed, std::uint64_t sequence, Seed& seed) {
   if (released_) return TsaAccept::kReleased;
   if (index >= private_keys_.size()) return TsaAccept::kIndexUnknown;
   if (index_consumed_[index]) return TsaAccept::kIndexConsumed;
@@ -88,17 +82,63 @@ TsaAccept TrustedSecureAggregator::process_contribution(
     return TsaAccept::kDecryptionFailed;
   }
 
-  Seed seed{};
   std::copy(plaintext->begin(), plaintext->end(), seed.begin());
 
-  // Re-generate the client's mask from the seed and fold it in.  After this
-  // point the index is consumed: "the trusted party will not process any
-  // further completing messages to i'th initial message".
-  crypto::MaskPrng prng(seed);
-  for (auto& e : mask_sum_) e += prng.next_u32();
+  // The index is consumed: "the trusted party will not process any further
+  // completing messages to i'th initial message".
   index_consumed_[index] = true;
   ++accepted_;
   return TsaAccept::kAccepted;
+}
+
+TsaAccept TrustedSecureAggregator::process_contribution(
+    std::uint64_t index, std::span<const std::uint8_t> completing_message,
+    const crypto::SealedBox& sealed_seed, std::uint64_t sequence) {
+  // Everything entering the enclave is metered: index + completing message +
+  // sealed seed in; a one-byte status out.
+  boundary_.record_call(
+      sizeof(index) + completing_message.size() + sealed_seed.ciphertext.size(),
+      1);
+
+  Seed seed{};
+  const TsaAccept verdict =
+      admit_contribution(index, completing_message, sealed_seed, sequence, seed);
+  if (verdict != TsaAccept::kAccepted) return verdict;
+
+  // Re-generate the client's mask from the seed and fold it in.
+  crypto::MaskPrng prng(seed);
+  for (auto& e : mask_sum_) e += prng.next_u32();
+  return TsaAccept::kAccepted;
+}
+
+std::vector<TsaAccept> TrustedSecureAggregator::process_contributions(
+    std::span<const ContributionRef> batch) {
+  // One boundary crossing for the whole batch: the summed inputs in, one
+  // status byte per contribution out.  This is the control-path
+  // amortization the batched pipeline exists for.
+  std::uint64_t bytes_in = 0;
+  for (const ContributionRef& c : batch) {
+    bytes_in += sizeof(c.index) + c.completing_message.size() +
+                c.sealed_seed->ciphertext.size();
+  }
+  boundary_.record_call(bytes_in, batch.size());
+
+  std::vector<TsaAccept> verdicts;
+  verdicts.reserve(batch.size());
+  std::vector<Seed> seeds;
+  seeds.reserve(batch.size());
+  for (const ContributionRef& c : batch) {
+    Seed seed{};
+    const TsaAccept verdict = admit_contribution(
+        c.index, c.completing_message, *c.sealed_seed, c.sequence, seed);
+    if (verdict == TsaAccept::kAccepted) seeds.push_back(seed);
+    verdicts.push_back(verdict);
+  }
+
+  // Bulk unmask material: all accepted seeds expand through the
+  // multi-stream ChaCha20 path and fold cache-blocked into the mask sum.
+  accumulate_masks(seeds, mask_sum_);
+  return verdicts;
 }
 
 std::optional<GroupVec> TrustedSecureAggregator::request_unmask() {

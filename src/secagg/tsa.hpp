@@ -79,6 +79,28 @@ class TrustedSecureAggregator {
                                  const crypto::SealedBox& sealed_seed,
                                  std::uint64_t sequence);
 
+  /// A borrowed view of one contribution's TSA-destined material, for the
+  /// batched entry point below.
+  struct ContributionRef {
+    std::uint64_t index = 0;
+    std::span<const std::uint8_t> completing_message;
+    const crypto::SealedBox* sealed_seed = nullptr;
+    std::uint64_t sequence = 0;
+  };
+
+  /// Batched step 6: process a whole batch in one boundary crossing.  The
+  /// control path (index bookkeeping, DH key recovery, seed decryption) runs
+  /// per contribution in batch order — so duplicate indices within a batch
+  /// resolve exactly as sequential calls would — and then all accepted
+  /// seeds' masks are expanded with the multi-stream ChaCha20 path and
+  /// folded into the running mask sum in one cache-blocked pass.
+  /// verdicts[i] is bit-for-bit what process_contribution(batch[i]) would
+  /// have returned, and the mask sum is identical (Z_{2^32} addition
+  /// commutes); only the boundary meter differs: one call, with the batch's
+  /// summed input bytes and one status byte out per contribution.
+  std::vector<TsaAccept> process_contributions(
+      std::span<const ContributionRef> batch);
+
   /// Step 7: release the aggregated mask if >= t contributions were
   /// processed; afterwards the TSA ignores everything.  Returns nullopt
   /// (and stays live) when below threshold.
@@ -90,6 +112,15 @@ class TrustedSecureAggregator {
   const BoundaryMeter& boundary() const { return boundary_; }
 
  private:
+  /// Control path for one contribution: index bookkeeping, DH key recovery,
+  /// seed decryption.  On kAccepted the index is consumed, accepted_ is
+  /// incremented, and `seed` holds the decrypted mask seed — the caller
+  /// folds the mask (scalar per-update, or batched multi-stream).
+  TsaAccept admit_contribution(std::uint64_t index,
+                               std::span<const std::uint8_t> completing_message,
+                               const crypto::SealedBox& sealed_seed,
+                               std::uint64_t sequence, Seed& seed);
+
   const crypto::DhParams& dh_;
   SecAggParams params_;
   crypto::Digest params_hash_{};

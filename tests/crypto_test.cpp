@@ -171,6 +171,62 @@ TEST(MaskPrng, DifferentSeedsDiverge) {
   EXPECT_LT(same, 5);
 }
 
+TEST(ChaCha20, KeystreamWordsMatchesNextU32) {
+  // The whole-block word path must be bit-identical to the per-word path,
+  // including lengths that are not block multiples and streams that start
+  // with a partially consumed block.
+  const Bytes key(ChaCha20::kKeySize, 0x3c);
+  const Bytes nonce(ChaCha20::kNonceSize, 0x15);
+  for (const std::size_t skip : {0UL, 1UL, 7UL, 16UL}) {
+    for (const std::size_t n : {0UL, 1UL, 15UL, 16UL, 17UL, 100UL}) {
+      ChaCha20 scalar(key, nonce), blocked(key, nonce);
+      for (std::size_t i = 0; i < skip; ++i) {
+        EXPECT_EQ(scalar.next_u32(), blocked.next_u32());
+      }
+      std::vector<std::uint32_t> expected(n), actual(n);
+      for (auto& w : expected) w = scalar.next_u32();
+      blocked.keystream_words(actual);
+      EXPECT_EQ(actual, expected) << "skip " << skip << " n " << n;
+    }
+  }
+}
+
+TEST(ChaCha20, MultiStreamMatchesScalarStreams) {
+  // The lockstep tile path (8 lanes + scalar remainder) must reproduce each
+  // stream's scalar keystream exactly, for stream counts straddling the tile
+  // width and lengths straddling block boundaries.
+  const Bytes nonce(ChaCha20::kNonceSize, 0x00);
+  for (const std::size_t streams : {1UL, 7UL, 8UL, 9UL, 17UL}) {
+    for (const std::size_t n : {0UL, 1UL, 15UL, 16UL, 17UL, 100UL}) {
+      std::vector<ChaCha20> multi, scalar;
+      for (std::size_t s = 0; s < streams; ++s) {
+        Bytes key(ChaCha20::kKeySize, static_cast<std::uint8_t>(s + 1));
+        multi.emplace_back(key, nonce);
+        scalar.emplace_back(key, nonce);
+      }
+      std::vector<std::vector<std::uint32_t>> out(streams,
+                                                  std::vector<std::uint32_t>(n));
+      std::vector<ChaCha20*> stream_ptrs(streams);
+      std::vector<std::uint32_t*> out_ptrs(streams);
+      for (std::size_t s = 0; s < streams; ++s) {
+        stream_ptrs[s] = &multi[s];
+        out_ptrs[s] = out[s].data();
+      }
+      ChaCha20::keystream_words_multi(stream_ptrs, out_ptrs, n);
+      for (std::size_t s = 0; s < streams; ++s) {
+        std::vector<std::uint32_t> expected(n);
+        scalar[s].keystream_words(expected);
+        EXPECT_EQ(out[s], expected) << "streams " << streams << " n " << n
+                                    << " stream " << s;
+      }
+      // The multi path leaves every stream positioned for more keystream.
+      for (std::size_t s = 0; s < streams; ++s) {
+        EXPECT_EQ(multi[s].next_u32(), scalar[s].next_u32()) << "stream " << s;
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------------- BigUInt --
 
 TEST(BigUInt, HexRoundTrip) {

@@ -173,6 +173,54 @@ TEST(ParallelAggregator, EnqueueConcurrentWithReduceConservesUpdates) {
   EXPECT_EQ(folded_mass, static_cast<float>(kTotal));
 }
 
+TEST(ParallelAggregator, BatchedDrainConservesUpdatesUnderConcurrentReduce) {
+  // Same conservation hammer with drain_batch > 1: a worker popping a run of
+  // updates per wakeup must neither lose nor double-fold any of them when
+  // reduces quiesce the pool mid-stream.
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kPerProducer = 250;
+  constexpr std::size_t kModelSize = 8;
+  ParallelAggregator agg(kModelSize, /*threads=*/4, /*intermediates=*/4,
+                         /*clip_norm=*/0.0f, /*drain_batch=*/7);
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        agg.enqueue(make_update(p * kPerProducer + i, kModelSize, 1.0f), 1.0);
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+
+  std::size_t total_count = 0;
+  while (producers_done.load() < kProducers) {
+    total_count += agg.reduce_and_reset_sums().count;
+  }
+  for (auto& t : producers) t.join();
+  total_count += agg.reduce_and_reset_sums().count;
+  EXPECT_EQ(total_count, kProducers * kPerProducer);
+}
+
+TEST(ParallelAggregator, BatchedDrainMatchesPerUpdateResult) {
+  // One worker, FIFO queue: a drained run folds in the same order as
+  // per-update draining, so the reduced buffer is bit-identical.
+  ParallelAggregator per_update(4, 1, 1);
+  ParallelAggregator batched(4, 1, 1, 0.0f, /*drain_batch=*/5);
+  for (int i = 1; i <= 13; ++i) {
+    const auto update = make_update(static_cast<std::uint64_t>(i), 4,
+                                    0.1f * static_cast<float>(i));
+    per_update.enqueue(update, 1.0 + i);
+    batched.enqueue(update, 1.0 + i);
+  }
+  const auto a = per_update.reduce_and_reset();
+  const auto b = batched.reduce_and_reset();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.weight_sum, b.weight_sum);
+  EXPECT_EQ(a.mean_delta, b.mean_delta);
+}
+
 // ------------------------------------------------------ Consistent hashing --
 
 TEST(ConsistentHashRing, DeterministicAndCoversAllShards) {
@@ -1037,6 +1085,148 @@ TEST(SecureBuffer, TamperedContributionRejectedAndSlotFreed) {
   EXPECT_EQ(result.outcome, ReportOutcome::kRejectedUnknown);
   EXPECT_EQ(agg.active_clients("lm"), 0u);  // slot freed for replacement
   EXPECT_GE(agg.client_demand("lm"), 1);
+}
+
+TEST(SecureBuffer, BatchedModeMatchesPerUpdateBitForBit) {
+  // Two managers with the same seed have identical TSAs and platforms; the
+  // same reports through the per-update and the batched pipeline must yield
+  // the same accepted set and a bit-identical unmasked mean.
+  constexpr std::size_t kModelSize = 6, kGoal = 4;
+  SecureBufferManager per_update(kModelSize, kGoal, 1234, /*batch_size=*/1);
+  SecureBufferManager batched(kModelSize, kGoal, 1234, /*batch_size=*/3);
+
+  std::optional<std::vector<float>> per_update_mean, batched_mean;
+  for (auto* manager : {&per_update, &batched}) {
+    const bool is_batched = manager->batch_size() > 1;
+    // Five reports: four good, the third tampered (TSA-rejected).
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+      const auto upload = manager->next_upload_config();
+      ASSERT_TRUE(upload.has_value());
+      std::vector<float> delta(kModelSize,
+                               0.1f * static_cast<float>(id) - 0.3f);
+      auto report = SecureBufferManager::prepare_report(
+          manager->platform(), *upload, id, 0, 5, /*weight=*/1.0, delta, id);
+      ASSERT_TRUE(report.has_value());
+      if (id == 3) report->contribution.sealed_seed.ciphertext[4] ^= 1;
+      const auto outcome = manager->submit(*report, 1.0);
+      if (is_batched) {
+        EXPECT_EQ(outcome, SecureSubmitOutcome::kBuffered);
+      } else {
+        EXPECT_EQ(outcome, id == 3 ? SecureSubmitOutcome::kTsaRejected
+                                   : SecureSubmitOutcome::kAccepted);
+      }
+      if (manager->goal_reached()) break;
+    }
+    EXPECT_EQ(manager->accepted_count(), kGoal);
+    EXPECT_EQ(manager->take_rejected(), is_batched ? 1u : 0u);
+    (is_batched ? batched_mean : per_update_mean) = manager->finalize_mean();
+  }
+  ASSERT_TRUE(per_update_mean.has_value());
+  ASSERT_TRUE(batched_mean.has_value());
+  EXPECT_EQ(*per_update_mean, *batched_mean);
+}
+
+TEST(SecureBuffer, BatchedFlushTriggersAtGoalRegardlessOfBatchSize) {
+  // Batch size larger than the goal: the goal-could-complete condition must
+  // flush early so the epoch finalizes after the same contributions as
+  // per-update mode would.
+  constexpr std::size_t kModelSize = 4, kGoal = 2;
+  SecureBufferManager manager(kModelSize, kGoal, 55, /*batch_size=*/16);
+  for (std::uint64_t id = 1; id <= kGoal; ++id) {
+    const auto upload = manager.next_upload_config();
+    ASSERT_TRUE(upload.has_value());
+    const auto report = SecureBufferManager::prepare_report(
+        manager.platform(), *upload, id, 0, 5, 1.0,
+        std::vector<float>(kModelSize, 0.5f), id);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(manager.submit(*report, 1.0), SecureSubmitOutcome::kBuffered);
+  }
+  EXPECT_EQ(manager.pending_count(), 0u);  // flushed by the goal condition
+  EXPECT_TRUE(manager.goal_reached());
+  const auto mean = manager.finalize_mean();
+  ASSERT_TRUE(mean.has_value());
+  for (const float v : *mean) EXPECT_NEAR(v, 0.5f, 1e-3f);
+}
+
+TEST(SecureBuffer, BatchedRejectionFreesSyncRoundSlot) {
+  // Regression: in batched mode a buffered report is optimistically counted
+  // as completing its SyncFL slot; when the flush later rejects it, the
+  // completion (and buffered count) must be un-counted so round demand
+  // frees up for a replacement — exactly as per-update rejection behaves.
+  Aggregator agg("a");
+  TaskConfig cfg;
+  cfg.name = "lm";
+  cfg.mode = TrainingMode::kSync;
+  cfg.concurrency = 4;
+  cfg.aggregation_goal = 2;
+  cfg.model_size = 4;
+  cfg.secagg_enabled = true;
+  cfg.aggregation_batch_size = 2;
+  cfg.example_weighting = false;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {});
+
+  for (std::uint64_t c = 1; c <= 2; ++c) {
+    ASSERT_TRUE(agg.client_join("lm", c, 0.0).accepted);
+  }
+  const std::vector<float> delta(4, 0.25f);
+  for (std::uint64_t c = 1; c <= 2; ++c) {
+    const auto upload = agg.secure_upload_config("lm");
+    ASSERT_TRUE(upload.has_value());
+    auto report = SecureBufferManager::prepare_report(
+        agg.secure_platform("lm"), *upload, c, 0, 10, 1.0, delta, c);
+    ASSERT_TRUE(report.has_value());
+    if (c == 2) report->contribution.sealed_seed.ciphertext[7] ^= 1;
+    agg.client_report_secure("lm", *report, 1.0);
+  }
+  // The tampered report was flushed and rejected: one completion stands,
+  // demand = concurrency - completed - active = 4 - 1 - 0 = 3, and the
+  // rejection is visible as a discarded update.
+  EXPECT_EQ(agg.stats("lm").updates_discarded, 1u);
+  EXPECT_EQ(agg.client_demand("lm"), 3);
+  EXPECT_EQ(agg.model_version("lm"), 0u);  // goal not yet reached
+
+  // A replacement client can join, complete, and finish the round.
+  ASSERT_TRUE(agg.client_join("lm", 3, 0.0).accepted);
+  const auto upload = agg.secure_upload_config("lm");
+  ASSERT_TRUE(upload.has_value());
+  const auto report = SecureBufferManager::prepare_report(
+      agg.secure_platform("lm"), *upload, 3, 0, 10, 1.0, delta, 3);
+  ASSERT_TRUE(report.has_value());
+  const auto result = agg.client_report_secure("lm", *report, 1.0);
+  EXPECT_TRUE(result.server_stepped);
+  EXPECT_EQ(agg.model_version("lm"), 1u);
+}
+
+TEST(SecureBuffer, BatchedEndToEndThroughAggregator) {
+  // The Aggregator path with TaskConfig::aggregation_batch_size > 1: same
+  // admission protocol, deferred TSA verdicts, and the server still steps
+  // when the goal's worth of verified contributions lands.
+  Aggregator agg("a");
+  auto cfg = async_task(10, 3, 4);
+  cfg.secagg_enabled = true;
+  cfg.aggregation_batch_size = 2;
+  cfg.example_weighting = false;
+  agg.assign_task(cfg, std::vector<float>(4, 0.0f), {.lr = 0.1f});
+
+  for (std::uint64_t c = 1; c <= 3; ++c) {
+    ASSERT_TRUE(agg.client_join("lm", c, 0.0).accepted);
+  }
+  const std::vector<float> delta{0.5f, -0.5f, 0.25f, 0.0f};
+  ReportResult last;
+  for (std::uint64_t c = 1; c <= 3; ++c) {
+    const auto upload = agg.secure_upload_config("lm");
+    ASSERT_TRUE(upload.has_value());
+    const auto report = SecureBufferManager::prepare_report(
+        agg.secure_platform("lm"), *upload, c, 0, 10,
+        agg.secure_update_weight("lm", 10), delta, c);
+    ASSERT_TRUE(report.has_value());
+    last = agg.client_report_secure("lm", *report, 1.0);
+    EXPECT_EQ(last.outcome, ReportOutcome::kAccepted);
+  }
+  EXPECT_TRUE(last.server_stepped);
+  EXPECT_EQ(agg.model_version("lm"), 1u);
+  EXPECT_GT(agg.model("lm")[0], 0.0f);
+  EXPECT_LT(agg.model("lm")[1], 0.0f);
 }
 
 // ---------------------------------------------------------- Client runtime --

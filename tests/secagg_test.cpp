@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "secagg/attestation.hpp"
 #include "secagg/fixed_point.hpp"
 #include "secagg/group.hpp"
 #include "secagg/otp.hpp"
+#include "secagg/secagg_batch.hpp"
 #include "secagg/secagg_client.hpp"
 #include "secagg/secagg_server.hpp"
 #include "secagg/tsa.hpp"
@@ -137,6 +140,62 @@ TEST(Otp, MaskExpansionDeterministic) {
   Seed seed{};
   seed.fill(0x11);
   EXPECT_EQ(expand_mask(seed, 100), expand_mask(seed, 100));
+}
+
+TEST(Otp, ExpandMasksMatchesPerSeedExpansion) {
+  // Property: the multi-stream batch path is bit-identical to per-seed
+  // expansion, across seed counts straddling the 8-lane tile and lengths
+  // straddling ChaCha20 block boundaries.
+  util::Rng rng(6);
+  for (const std::size_t count : {0UL, 1UL, 5UL, 8UL, 9UL, 17UL}) {
+    for (const std::size_t length : {0UL, 1UL, 15UL, 16UL, 100UL, 1000UL}) {
+      std::vector<Seed> seeds(count);
+      for (auto& seed : seeds) {
+        for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
+      }
+      const auto batched = expand_masks(seeds, length);
+      ASSERT_EQ(batched.size(), count);
+      for (std::size_t s = 0; s < count; ++s) {
+        EXPECT_EQ(batched[s], expand_mask(seeds[s], length))
+            << "count " << count << " length " << length << " seed " << s;
+      }
+    }
+  }
+}
+
+TEST(Otp, AccumulateMasksMatchesSequentialFold) {
+  util::Rng rng(7);
+  for (const std::size_t count : {1UL, 3UL, 8UL, 12UL}) {
+    // 5000 words spans multiple accumulation chunks (2048-word scratch).
+    const std::size_t length = 5000;
+    std::vector<Seed> seeds(count);
+    for (auto& seed : seeds) {
+      for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
+    }
+    GroupVec expected(length, 123u), actual(length, 123u);
+    for (const Seed& seed : seeds) {
+      add_in_place(expected, expand_mask(seed, length));
+    }
+    accumulate_masks(seeds, actual);
+    EXPECT_EQ(actual, expected) << "count " << count;
+  }
+}
+
+TEST(Group, AddRowsMatchesSequentialAdds) {
+  util::Rng rng(8);
+  const std::size_t length = 9000;  // spans multiple 4096-word fold blocks
+  std::vector<GroupVec> rows(5, GroupVec(length));
+  for (auto& row : rows) {
+    for (auto& x : row) x = static_cast<std::uint32_t>(rng.next());
+  }
+  GroupVec expected(length, 7u), actual(length, 7u);
+  std::vector<const std::uint32_t*> row_ptrs;
+  for (const auto& row : rows) {
+    add_in_place(expected, row);
+    row_ptrs.push_back(row.data());
+  }
+  add_rows_in_place(actual, row_ptrs);
+  EXPECT_EQ(actual, expected);
 }
 
 // ------------------------------------------------------------ Attestation --
@@ -400,6 +459,146 @@ TEST(Protocol, DropoutsDoNotBlockOthers) {
   }
 }
 
+// ------------------------------------- Batched vs sequential equivalence --
+
+// A contribution list with mixed verdicts, in a deliberate order: a valid
+// one, a tampered sealed seed (kDecryptionFailed), more valid ones with a
+// duplicate index (kIndexConsumed) and an unknown index (kIndexUnknown)
+// interleaved.  Prepared against `world`'s initial messages; any
+// ProtocolWorld built with the same parameters has an identical TSA
+// (deterministic enclave seed), so the same list replays against fresh
+// worlds.
+std::vector<ClientContribution> mixed_contributions(ProtocolWorld& world,
+                                                    std::size_t length) {
+  util::Rng rng(11);
+  const auto valid = [&](std::uint64_t c) {
+    std::vector<float> update(length);
+    for (auto& v : update) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    auto contribution = world.client_contribution(c, update);
+    EXPECT_TRUE(contribution.has_value());
+    return std::move(*contribution);
+  };
+  std::vector<ClientContribution> batch;
+  batch.push_back(valid(0));
+  auto tampered = valid(5);
+  tampered.sealed_seed.ciphertext[10] ^= 1;
+  batch.push_back(std::move(tampered));
+  batch.push_back(valid(1));
+  batch.push_back(batch[2]);  // duplicate index -> kIndexConsumed
+  auto unknown = batch[0];
+  unknown.message_index = 999;
+  batch.push_back(std::move(unknown));
+  batch.push_back(valid(2));
+  batch.push_back(valid(3));
+  batch.push_back(valid(4));
+  return batch;
+}
+
+const std::vector<TsaAccept> kMixedVerdicts{
+    TsaAccept::kAccepted,      TsaAccept::kDecryptionFailed,
+    TsaAccept::kAccepted,      TsaAccept::kIndexConsumed,
+    TsaAccept::kIndexUnknown,  TsaAccept::kAccepted,
+    TsaAccept::kAccepted,      TsaAccept::kAccepted};
+
+TEST(BatchedSession, BitIdenticalToSequentialUnderMixedVerdicts) {
+  const std::size_t length = 700;  // not a ChaCha20 block multiple
+  const std::size_t goal = 5;
+  ProtocolWorld seq_world(length, goal, 8);
+  const auto contributions = mixed_contributions(seq_world, length);
+
+  SecureAggregationSession sequential(*seq_world.tsa, length, goal);
+  std::vector<TsaAccept> seq_verdicts;
+  for (const auto& c : contributions) {
+    seq_verdicts.push_back(sequential.accept(c));
+  }
+  EXPECT_EQ(seq_verdicts, kMixedVerdicts);
+  const auto seq_sum = sequential.finalize();
+  ASSERT_TRUE(seq_sum.has_value());
+
+  // Batch sizes 1, K, and K+1 (a final short batch / one oversized span).
+  for (const std::size_t batch_size :
+       {1UL, contributions.size(), contributions.size() + 1}) {
+    ProtocolWorld world(length, goal, 8);
+    BatchedSecureAggregationSession batched(*world.tsa, length, goal);
+    std::vector<TsaAccept> verdicts;
+    for (std::size_t base = 0; base < contributions.size();
+         base += batch_size) {
+      const std::size_t n = std::min(batch_size, contributions.size() - base);
+      const auto part = batched.accept_batch(
+          std::span<const ClientContribution>(&contributions[base], n));
+      verdicts.insert(verdicts.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(verdicts, seq_verdicts) << "batch size " << batch_size;
+    EXPECT_EQ(batched.accepted_count(), sequential.accepted_count());
+    EXPECT_TRUE(batched.goal_reached());
+    // The running masked sum and the released aggregate are bit-identical.
+    EXPECT_EQ(batched.masked_sum(), sequential.masked_sum());
+    const auto batched_sum = batched.finalize();
+    ASSERT_TRUE(batched_sum.has_value());
+    EXPECT_EQ(*batched_sum, *seq_sum) << "batch size " << batch_size;
+  }
+}
+
+TEST(BatchedSession, EmptyBatchIsANoOp) {
+  const std::size_t length = 16;
+  ProtocolWorld world(length, 1, 4);
+  BatchedSecureAggregationSession session(*world.tsa, length, 1);
+  const GroupVec before = session.masked_sum();
+  EXPECT_TRUE(session.accept_batch({}).empty());
+  EXPECT_EQ(session.masked_sum(), before);
+  EXPECT_EQ(session.accepted_count(), 0u);
+  EXPECT_EQ(world.tsa->boundary().calls(), 0u);
+
+  // The session still works after the no-op.
+  const auto c = world.client_contribution(0, std::vector<float>(length, 0.5f));
+  ASSERT_TRUE(c.has_value());
+  const auto verdicts =
+      session.accept_batch(std::span<const ClientContribution>(&*c, 1));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0], TsaAccept::kAccepted);
+  EXPECT_TRUE(session.finalize().has_value());
+}
+
+TEST(BatchedSession, RejectedContributionDiscardsOnlyItself) {
+  const std::size_t length = 32;
+  ProtocolWorld world(length, 2, 8);
+  BatchedSecureAggregationSession session(*world.tsa, length, 2);
+  auto good0 = world.client_contribution(0, std::vector<float>(length, 0.5f));
+  auto bad = world.client_contribution(1, std::vector<float>(length, 0.5f));
+  auto good2 = world.client_contribution(2, std::vector<float>(length, -0.5f));
+  ASSERT_TRUE(good0 && bad && good2);
+  bad->sealed_seed.ciphertext[0] ^= 1;
+  const std::vector<ClientContribution> batch{*good0, *bad, *good2};
+  const auto verdicts = session.accept_batch(batch);
+  EXPECT_EQ(verdicts,
+            (std::vector<TsaAccept>{TsaAccept::kAccepted,
+                                    TsaAccept::kDecryptionFailed,
+                                    TsaAccept::kAccepted}));
+  EXPECT_EQ(session.accepted_count(), 2u);
+  // The two accepted updates (0.5 and -0.5 everywhere) cancel exactly.
+  const auto sum = session.finalize_decoded(world.fp);
+  ASSERT_TRUE(sum.has_value());
+  for (const float v : *sum) EXPECT_NEAR(v, 0.0f, 1e-3f);
+}
+
+TEST(BatchedSession, OneCrossingPerBatch) {
+  // The point of batching: K contributions cross the TSA boundary once,
+  // with one status byte out per contribution.
+  const std::size_t length = 16, k = 4;
+  ProtocolWorld world(length, k, 8);
+  BatchedSecureAggregationSession session(*world.tsa, length, k);
+  std::vector<ClientContribution> batch;
+  for (std::uint64_t c = 0; c < k; ++c) {
+    auto contribution =
+        world.client_contribution(c, std::vector<float>(length, 0.1f));
+    ASSERT_TRUE(contribution.has_value());
+    batch.push_back(std::move(*contribution));
+  }
+  session.accept_batch(batch);
+  EXPECT_EQ(world.tsa->boundary().calls(), 1u);
+  EXPECT_EQ(world.tsa->boundary().bytes_out(), k);
+}
+
 // ------------------------------------------------------ Boundary traffic --
 
 TEST(Boundary, AsyncSecAggTrafficIsConstantPerClientInModelSize) {
@@ -433,6 +632,33 @@ TEST(Boundary, NaiveBelowThresholdRefuses) {
   NaiveTeeAggregator naive(8, 2);
   naive.submit_update(GroupVec(8, 1u));
   EXPECT_FALSE(naive.release().has_value());
+}
+
+TEST(Boundary, NaiveRefusalMetersZeroBytes) {
+  // Fig. 6 counts what actually crosses: a below-threshold refusal is a
+  // status-only call, not a 1-byte transfer.
+  NaiveTeeAggregator naive(8, 2);
+  naive.submit_update(GroupVec(8, 1u));
+  const std::uint64_t before = naive.boundary().bytes_out();
+  EXPECT_FALSE(naive.release().has_value());
+  EXPECT_EQ(naive.boundary().bytes_out(), before);
+  EXPECT_EQ(naive.boundary().calls(), 2u);  // the call itself is still metered
+}
+
+TEST(Boundary, NaiveReleaseMeterIsIdempotent) {
+  // The aggregate's bytes cross the boundary once; re-serving the released
+  // sum must not re-charge them.
+  const std::size_t length = 64;
+  NaiveTeeAggregator naive(length, 1);
+  naive.submit_update(GroupVec(length, 3u));
+  const std::uint64_t before = naive.boundary().bytes_out();
+  ASSERT_TRUE(naive.release().has_value());
+  const std::uint64_t after_first = naive.boundary().bytes_out();
+  EXPECT_EQ(after_first - before, length * sizeof(std::uint32_t));
+  const auto again = naive.release();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ((*again)[0], 3u);
+  EXPECT_EQ(naive.boundary().bytes_out(), after_first);
 }
 
 TEST(Boundary, CostModelCalibration) {
