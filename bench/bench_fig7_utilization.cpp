@@ -76,5 +76,41 @@ int main() {
   std::printf(
       "\nExpected shape (paper): AsyncFL ~flat near the concurrency target; "
       "SyncFL\noscillates between ~0 (end of round) and the cohort size.\n");
+
+  // Pipelined client runtime (Sec. 6.1): with train ∥ serialize ∥ chunked
+  // upload overlapped, a device finishes its work before its serving slot
+  // closes.  The busy series meters device-side work; the gap to the
+  // active (slot-held) series is the overlap saving in device-seconds.
+  std::printf("\nPipelined device-busy vs slot-held (AsyncFL, uplink 0.02 "
+              "Mbps):\n");
+  sim::SimulationConfig pcfg = async_config(/*concurrency=*/30, /*goal=*/6);
+  pcfg.max_server_steps = 40;
+  pcfg.max_sim_time_s = 1.0e6;
+  pcfg.network.mean_upload_mbps = 0.02;
+  pcfg.population.min_examples = 1;
+  pcfg.population.max_examples = 8;
+  pcfg.upload_chunk_bytes = 1024;
+  pcfg.task.pipelined_clients = true;
+  pcfg.record_utilization = true;
+  pcfg.record_participations = false;
+  sim::FlSimulator pipelined(pcfg);
+  const sim::SimulationResult pres = pipelined.run();
+
+  auto mean_after_warmup = [&](const sim::TimeSeries& series) {
+    std::vector<double> values;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series.times[i] >= pres.end_time_s / 4.0) {
+        values.push_back(series.values[i]);
+      }
+    }
+    return util::mean(values);
+  };
+  const double slot_held = mean_after_warmup(pres.active_clients);
+  const double device_busy = mean_after_warmup(pres.busy_clients);
+  std::printf("  mean slots held:    %6.1f\n", slot_held);
+  std::printf("  mean devices busy:  %6.1f\n", device_busy);
+  std::printf("  overlap frees %.1f%% of device-time at the same protocol "
+              "schedule\n",
+              100.0 * (1.0 - device_busy / slot_held));
   return 0;
 }

@@ -1,0 +1,102 @@
+// Microbenchmarks for the pipelined client runtime (Sec. 6.1 stage
+// overlap): the streaming chunk serializer vs the materialize-then-split
+// path, and the full device-side pipelined round — stream-serialize a model
+// update, drive the pipeline state machine, reassemble server-side.
+
+#include <benchmark/benchmark.h>
+
+#include "fl/chunking.hpp"
+#include "fl/client_runtime.hpp"
+#include "fl/model_update.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace papaya;
+
+fl::ModelUpdate make_update(std::size_t model_size) {
+  util::Rng rng(99);
+  fl::ModelUpdate u;
+  u.client_id = 1;
+  u.initial_version = 7;
+  u.num_examples = 20;
+  u.delta.resize(model_size);
+  for (auto& v : u.delta) v = static_cast<float>(rng.normal());
+  return u;
+}
+
+/// Sequential baseline: materialize the full serialized update, then split.
+void BM_SequentialSerializeAndChunk(benchmark::State& state) {
+  const auto chunk_size = static_cast<std::size_t>(state.range(0));
+  const fl::ModelUpdate update = make_update(65536);
+  for (auto _ : state) {
+    const util::Bytes serialized = update.serialize();
+    benchmark::DoNotOptimize(fl::chunk_upload(1, serialized, chunk_size));
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fl::serialized_update_bytes(65536)));
+}
+BENCHMARK(BM_SequentialSerializeAndChunk)
+    ->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+/// Streaming path: chunks emitted as soon as their bytes are serialized —
+/// the CPU cost must stay comparable to the sequential baseline (the win is
+/// latency overlap, not cycles).
+void BM_StreamingSerializeAndChunk(benchmark::State& state) {
+  const auto chunk_size = static_cast<std::size_t>(state.range(0));
+  const fl::ModelUpdate update = make_update(65536);
+  for (auto _ : state) {
+    std::size_t chunks = 0;
+    fl::stream_update_chunks(1, update, chunk_size, /*block_floats=*/1024,
+                             [&](fl::UploadChunk chunk) {
+                               benchmark::DoNotOptimize(chunk);
+                               ++chunks;
+                             });
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fl::serialized_update_bytes(65536)));
+}
+BENCHMARK(BM_StreamingSerializeAndChunk)
+    ->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+/// One full pipelined client round, device side: stream-serialize a
+/// 64k-param update into chunks, reassemble server-side (the simulator's
+/// pipelined upload path), and run the pipeline state machine that
+/// schedules the overlapped stages.  Sweeps the chunk size — smaller
+/// chunks mean finer overlap granularity but more per-chunk work.
+void BM_PipelinedClientRound(benchmark::State& state) {
+  const auto chunk_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t model_size = 65536;
+  const fl::ModelUpdate update = make_update(model_size);
+  const std::uint64_t wire = fl::serialized_update_bytes(model_size);
+  const std::uint32_t chunks = fl::chunk_count(wire, chunk_size);
+
+  for (auto _ : state) {
+    // Stage-timing plan (what the simulator computes per participation).
+    fl::PipelineTimings timings;
+    timings.train_s = 10.0;
+    timings.serialize_chunk_s.assign(chunks, 1e-4);
+    timings.upload_chunk_s.assign(chunks, 1e-2);
+    fl::PipelinedClientSession pipeline(std::move(timings));
+    benchmark::DoNotOptimize(pipeline.finish_time());
+
+    // Byte-level path: stream chunks, reassemble, recover the update.
+    fl::ChunkAssembler assembler(1);
+    fl::stream_update_chunks(1, update, chunk_size, /*block_floats=*/1024,
+                             [&](fl::UploadChunk chunk) {
+                               assembler.accept(chunk);
+                             });
+    benchmark::DoNotOptimize(assembler.assemble());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire));
+  state.counters["chunks"] = static_cast<double>(chunks);
+}
+BENCHMARK(BM_PipelinedClientRound)
+    ->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,7 +1,9 @@
 #include "fl/chunking.hpp"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <utility>
 
 namespace papaya::fl {
 
@@ -21,12 +23,31 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 }  // namespace
 
-std::uint32_t crc32(std::span<const std::uint8_t> data) {
+namespace {
+
+/// Raw CRC accumulation (pre/post-inversion handled by the callers).
+std::uint32_t crc32_accumulate(std::uint32_t crc,
+                               std::span<const std::uint8_t> data) {
   static const auto table = make_crc_table();
-  std::uint32_t crc = 0xffffffffu;
   for (const std::uint8_t byte : data) {
     crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
   }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_accumulate(0xffffffffu, data) ^ 0xffffffffu;
+}
+
+std::uint32_t chunk_crc(const UploadChunk& chunk) {
+  util::ByteWriter header;
+  header.u64(chunk.session_id);
+  header.u32(chunk.index);
+  header.u32(chunk.total);
+  std::uint32_t crc = crc32_accumulate(0xffffffffu, header.data());
+  crc = crc32_accumulate(crc, chunk.payload);
   return crc ^ 0xffffffffu;
 }
 
@@ -73,10 +94,116 @@ std::vector<UploadChunk> chunk_upload(std::uint64_t session_id,
         std::min(begin + chunk_size, serialized_update.size());
     chunk.payload.assign(serialized_update.begin() + static_cast<std::ptrdiff_t>(begin),
                          serialized_update.begin() + static_cast<std::ptrdiff_t>(end));
-    chunk.crc = crc32(chunk.payload);
+    chunk.crc = chunk_crc(chunk);
     chunks.push_back(std::move(chunk));
   }
   return chunks;
+}
+
+std::uint32_t chunk_count(std::uint64_t payload_bytes, std::size_t chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("chunk_count: chunk size must be > 0");
+  }
+  if (payload_bytes == 0) return 1;
+  return static_cast<std::uint32_t>((payload_bytes + chunk_size - 1) /
+                                    chunk_size);
+}
+
+std::uint64_t serialized_update_bytes(std::size_t delta_size) {
+  // client_id + initial_version + num_examples + delta length prefix, then
+  // one f32 per parameter (ModelUpdate::serialize's wire format).
+  return 4 * sizeof(std::uint64_t) +
+         static_cast<std::uint64_t>(delta_size) * sizeof(std::uint32_t);
+}
+
+ChunkSerializer::ChunkSerializer(std::uint64_t session_id,
+                                 std::uint64_t total_payload_bytes,
+                                 std::size_t chunk_size)
+    : session_id_(session_id),
+      total_bytes_(total_payload_bytes),
+      chunk_size_(chunk_size),
+      total_chunks_(chunk_count(total_payload_bytes, chunk_size)) {
+  // An empty payload still travels as one empty chunk (chunk_upload parity).
+  if (total_bytes_ == 0) emit({});
+}
+
+void ChunkSerializer::emit(util::Bytes payload) {
+  UploadChunk chunk;
+  chunk.session_id = session_id_;
+  chunk.index = emitted_;
+  chunk.total = total_chunks_;
+  chunk.payload = std::move(payload);
+  chunk.crc = chunk_crc(chunk);
+  ready_.push_back(std::move(chunk));
+  ++emitted_;
+}
+
+void ChunkSerializer::append(std::span<const std::uint8_t> bytes) {
+  if (appended_ + bytes.size() > total_bytes_) {
+    throw std::invalid_argument(
+        "ChunkSerializer: appended past the declared payload size");
+  }
+  appended_ += bytes.size();
+  while (!bytes.empty()) {
+    const std::size_t want = chunk_size_ - pending_.size();
+    const std::size_t take = std::min(want, bytes.size());
+    pending_.insert(pending_.end(), bytes.begin(),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    bytes = bytes.subspan(take);
+    if (pending_.size() == chunk_size_) {
+      emit(std::exchange(pending_, {}));
+    }
+  }
+  // The final chunk may be short: emit it as soon as the last byte lands.
+  if (appended_ == total_bytes_ && !pending_.empty()) {
+    emit(std::exchange(pending_, {}));
+  }
+}
+
+UploadChunk ChunkSerializer::pop_ready() {
+  if (ready_.empty()) {
+    throw std::logic_error("ChunkSerializer: no chunk ready");
+  }
+  UploadChunk chunk = std::move(ready_.front());
+  ready_.pop_front();
+  return chunk;
+}
+
+std::uint64_t stream_update_chunks(
+    std::uint64_t session_id, const ModelUpdate& update, std::size_t chunk_size,
+    std::size_t block_floats, const std::function<void(UploadChunk)>& sink) {
+  if (block_floats == 0) {
+    throw std::invalid_argument("stream_update_chunks: block must be > 0");
+  }
+  const std::uint64_t total = serialized_update_bytes(update.delta.size());
+  ChunkSerializer serializer(session_id, total, chunk_size);
+  const auto drain = [&] {
+    while (serializer.has_ready()) sink(serializer.pop_ready());
+  };
+
+  // Header: identical to the first four u64 writes of
+  // ModelUpdate::serialize() (the floats() length prefix included).
+  util::ByteWriter header;
+  header.u64(update.client_id);
+  header.u64(update.initial_version);
+  header.u64(update.num_examples);
+  header.u64(update.delta.size());
+  serializer.append(header.data());
+  drain();
+
+  // Delta: serialized block_floats parameters at a time, each block handed
+  // to the serializer as soon as its bytes exist.
+  for (std::size_t start = 0; start < update.delta.size();
+       start += block_floats) {
+    const std::size_t end =
+        std::min(start + block_floats, update.delta.size());
+    util::ByteWriter block;
+    for (std::size_t i = start; i < end; ++i) block.f32(update.delta[i]);
+    serializer.append(block.data());
+    drain();
+  }
+  drain();
+  return total;
 }
 
 ChunkAssembler::Accept ChunkAssembler::accept(const UploadChunk& chunk) {
@@ -84,12 +211,16 @@ ChunkAssembler::Accept ChunkAssembler::accept(const UploadChunk& chunk) {
   if (chunk.total == 0 || chunk.index >= chunk.total) {
     return Accept::kInconsistent;
   }
+  // Verify the CRC before adopting the chunk's claimed total: the CRC
+  // covers the framing, so only an authentic chunk may establish (or be
+  // checked against) the session's chunk count.  Adopting first would let
+  // one corrupt chunk poison the session and reject every good chunk.
+  if (chunk_crc(chunk) != chunk.crc) return Accept::kCorrupt;
   if (total_ == 0) {
     total_ = chunk.total;
   } else if (chunk.total != total_) {
     return Accept::kInconsistent;
   }
-  if (crc32(chunk.payload) != chunk.crc) return Accept::kCorrupt;
   if (chunks_.contains(chunk.index)) return Accept::kDuplicate;
   chunks_[chunk.index] = chunk.payload;
   ++received_;

@@ -133,6 +133,118 @@ LocalTrainingResult Executor::train(std::span<const float> global_params,
   return result;
 }
 
+PipelinedClientSession::PipelinedClientSession(PipelineTimings timings)
+    : timings_(std::move(timings)) {
+  const std::size_t n = timings_.upload_chunk_s.size();
+  if (n == 0 || timings_.serialize_chunk_s.size() != n) {
+    throw std::invalid_argument(
+        "PipelinedClientSession: need one serialize and one upload time per "
+        "chunk (at least one chunk)");
+  }
+  if (timings_.train_s < 0.0) {
+    throw std::invalid_argument("PipelinedClientSession: negative train time");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (timings_.serialize_chunk_s[i] < 0.0 || timings_.upload_chunk_s[i] < 0.0) {
+      throw std::invalid_argument(
+          "PipelinedClientSession: negative stage time");
+    }
+  }
+  serialize_done_.assign(n, 0.0);
+}
+
+bool PipelinedClientSession::done() const {
+  return train_done_ && uploaded_ == num_chunks();
+}
+
+double PipelinedClientSession::ready_at(std::size_t chunk) const {
+  if (timings_.readiness == PipelineTimings::Readiness::kPostTraining) {
+    return timings_.train_s;
+  }
+  // Progressive finalization: chunk i's source range is final once
+  // (i+1)/n of training has elapsed; the last chunk waits for the end.
+  return timings_.train_s * static_cast<double>(chunk + 1) /
+         static_cast<double>(num_chunks());
+}
+
+double PipelinedClientSession::next_serialize_at() const {
+  if (serialized_ == num_chunks()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double prev_done = serialized_ == 0 ? 0.0 : serialize_done_[serialized_ - 1];
+  return std::max(ready_at(serialized_), prev_done) +
+         timings_.serialize_chunk_s[serialized_];
+}
+
+double PipelinedClientSession::next_upload_at() const {
+  if (uploaded_ == num_chunks() || uploaded_ >= serialized_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(serialize_done_[uploaded_], last_upload_done_) +
+         timings_.upload_chunk_s[uploaded_];
+}
+
+PipelinedClientSession::Event PipelinedClientSession::peek() const {
+  if (done()) {
+    throw std::logic_error("PipelinedClientSession: already done");
+  }
+  Event event;
+  event.at = std::numeric_limits<double>::infinity();
+  // Tie-break at equal times in protocol order: training completes before
+  // the chunk it unblocks serializes, which completes before it uploads.
+  if (!train_done_) {
+    event = {Event::Kind::kTrainingComplete, 0, timings_.train_s};
+  }
+  if (const double at = next_serialize_at(); at < event.at) {
+    event = {Event::Kind::kChunkSerialized,
+             static_cast<std::uint32_t>(serialized_), at};
+  }
+  if (const double at = next_upload_at(); at < event.at) {
+    event = {Event::Kind::kChunkUploaded,
+             static_cast<std::uint32_t>(uploaded_), at};
+  }
+  return event;
+}
+
+PipelinedClientSession::Event PipelinedClientSession::advance() {
+  const Event event = peek();
+  switch (event.kind) {
+    case Event::Kind::kTrainingComplete:
+      train_done_ = true;
+      break;
+    case Event::Kind::kChunkSerialized:
+      serialize_done_[serialized_] = event.at;
+      ++serialized_;
+      break;
+    case Event::Kind::kChunkUploaded:
+      last_upload_done_ = event.at;
+      ++uploaded_;
+      break;
+  }
+  now_ = event.at;
+  return event;
+}
+
+double PipelinedClientSession::finish_time() {
+  while (!done()) advance();
+  return now_;
+}
+
+PipelinedClientSession::Stage PipelinedClientSession::stage() const {
+  if (!train_done_) return Stage::kTraining;
+  if (serialized_ < num_chunks()) return Stage::kSerializing;
+  if (uploaded_ < num_chunks()) return Stage::kUploading;
+  return Stage::kDone;
+}
+
+double PipelinedClientSession::sequential_latency(
+    const PipelineTimings& timings) {
+  double total = timings.train_s;
+  for (const double s : timings.serialize_chunk_s) total += s;
+  for (const double u : timings.upload_chunk_s) total += u;
+  return total;
+}
+
 ClientRuntime::ClientRuntime(std::uint64_t client_id, ExampleStore store)
     : client_id_(client_id), store_(std::move(store)) {}
 

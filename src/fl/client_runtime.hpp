@@ -131,6 +131,99 @@ class Executor {
   TrainerConfig config_;
 };
 
+/// Stage timings for one pipelined client participation (Sec. 6.1).  The
+/// sequential runtime charges train + serialize + upload; the pipelined
+/// runtime overlaps them, so round latency is dominated by the slowest
+/// stage plus the residual tail of the stages after it.
+struct PipelineTimings {
+  /// Local-training duration.
+  double train_s = 0.0;
+  /// Per-chunk serialization cost, in chunk order.
+  std::vector<double> serialize_chunk_s;
+  /// Per-chunk upload cost, in chunk order (same length).
+  std::vector<double> upload_chunk_s;
+
+  /// When chunk i's source bytes become final relative to training:
+  ///  - kProgressive: the executor finalizes the update tensor range by
+  ///    range as training advances, so chunk i may serialize once
+  ///    (i+1)/n of training has elapsed (the last chunk always waits for
+  ///    training to finish — its bytes depend on the final weights).
+  ///  - kPostTraining: nothing serializes before training completes; only
+  ///    serialization and upload overlap.
+  enum class Readiness { kProgressive, kPostTraining };
+  Readiness readiness = Readiness::kProgressive;
+};
+
+/// The pipelined participation state machine: train ∥ serialize ∥ chunked
+/// upload.  Chunk i uploads as soon as (a) its bytes are serialized and
+/// (b) the uplink has finished chunk i-1; chunk i serializes as soon as
+/// (a) its source data is ready and (b) the serializer has finished chunk
+/// i-1.  Driven event by event so a discrete-event simulator (or a test)
+/// can observe every stage transition; all times are relative to
+/// participation start (t = 0).
+///
+/// With train time T, serialize times σ_i and upload times u_i this yields
+/// the recurrences
+///   s_i = max(ready_i, s_{i-1}) + σ_i      (serialize completion)
+///   f_i = max(s_i,     f_{i-1}) + u_i      (upload completion)
+/// so total latency ≈ max(T, σ_0 + u_0 tail) + residual upload — the
+/// slowest stage dominates instead of the stage sum (ISSUE: Fig. 2 / 7).
+class PipelinedClientSession {
+ public:
+  enum class Stage { kTraining, kSerializing, kUploading, kDone };
+
+  struct Event {
+    enum class Kind { kTrainingComplete, kChunkSerialized, kChunkUploaded };
+    Kind kind = Kind::kTrainingComplete;
+    std::uint32_t chunk = 0;  ///< chunk index (serialize/upload events)
+    double at = 0.0;          ///< completion time, seconds from start
+  };
+
+  explicit PipelinedClientSession(PipelineTimings timings);
+
+  std::size_t num_chunks() const { return timings_.upload_chunk_s.size(); }
+  bool done() const;
+  /// Time of the last processed event (0 before any event).
+  double now() const { return now_; }
+
+  /// The next stage-completion event, without processing it.
+  Event peek() const;
+  /// Process and return the next event.  Event times are non-decreasing.
+  Event advance();
+  /// Run the machine to completion; returns the total participation
+  /// latency (the last chunk's upload completion).
+  double finish_time();
+
+  bool training_complete() const { return train_done_; }
+  std::size_t chunks_serialized() const { return serialized_; }
+  std::size_t chunks_uploaded() const { return uploaded_; }
+  /// Coarse protocol stage (Sec. 6.1) for session bookkeeping: the
+  /// earliest stage still incomplete.  Later stages may already be active
+  /// underneath it — that is the point of the pipeline.
+  Stage stage() const;
+
+  /// What the same timings cost without any overlap (the sequential
+  /// runtime's charge: train + Σ serialize + Σ upload).
+  static double sequential_latency(const PipelineTimings& timings);
+
+ private:
+  double ready_at(std::size_t chunk) const;
+  /// Completion time of the next serialize / upload candidate (infinity
+  /// when that pipeline lane has no admissible work).
+  double next_serialize_at() const;
+  double next_upload_at() const;
+
+  PipelineTimings timings_;
+  double now_ = 0.0;
+  bool train_done_ = false;
+  std::size_t serialized_ = 0;
+  std::size_t uploaded_ = 0;
+  /// Completion times of processed serialize events (upload lane reads
+  /// them; sized num_chunks, filled in order).
+  std::vector<double> serialize_done_;
+  double last_upload_done_ = 0.0;
+};
+
 /// Per-device runtime state: conditions, history, capabilities.
 class ClientRuntime {
  public:

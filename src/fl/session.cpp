@@ -98,6 +98,21 @@ SessionOutcome VirtualSessionManager::advance(std::uint64_t token,
   return SessionOutcome::kOk;
 }
 
+SessionOutcome VirtualSessionManager::record_chunk(std::uint64_t token,
+                                                   double now) {
+  SessionOutcome outcome;
+  SessionInfo* info = live_session(token, now, outcome);
+  if (info == nullptr) return outcome;
+  // Forward-only, like advance(): chunks never rewind a session, and a
+  // session already uploading just accumulates progress.
+  if (info->stage < SessionStage::kUploading) {
+    info->stage = SessionStage::kUploading;
+  }
+  ++info->chunks_uploaded;
+  info->last_touched = now;
+  return SessionOutcome::kOk;
+}
+
 SessionOutcome VirtualSessionManager::complete(std::uint64_t token,
                                                double now) {
   SessionOutcome outcome;

@@ -73,6 +73,10 @@ class VirtualSessionManager {
     double opened_at = 0.0;
     double last_touched = 0.0;
     std::uint32_t resumes = 0;  ///< touches after a gap (diagnostics)
+    /// Upload-stage progress: chunks received so far.  Pipelined clients
+    /// stream chunks while still training, so this can grow before the
+    /// session ever reports kTraining done.
+    std::uint32_t chunks_uploaded = 0;
   };
 
   VirtualSessionManager();
@@ -92,6 +96,14 @@ class VirtualSessionManager {
   /// allowed — e.g. a cached model skips kDownloading).  Also refreshes the
   /// TTL on success.
   SessionOutcome advance(std::uint64_t token, SessionStage stage, double now);
+
+  /// Upload progress: one chunk of the client's update arrived.  Counts
+  /// the chunk, moves the session forward to kUploading if it was in an
+  /// earlier live stage (pipelined clients stream their first chunks while
+  /// local training is still running), and refreshes the TTL — a
+  /// long-training pipelined client stays alive chunk by chunk where a
+  /// silent sequential client would expire.
+  SessionOutcome record_chunk(std::uint64_t token, double now);
 
   /// Terminal transitions.
   SessionOutcome complete(std::uint64_t token, double now);

@@ -59,6 +59,18 @@ struct TaskConfig {
   /// per worker) is unchanged; only the amortization changes.
   std::size_t aggregation_batch_size = 1;
 
+  /// Pipelined client runtime (Sec. 6.1): overlap local training,
+  /// incremental update serialization, and chunked upload on each device,
+  /// so per-client round latency becomes ~max(train, serialize + first
+  /// chunk) + the residual upload tail instead of the stage sum.  The
+  /// pipelined latency model is observational by design (like ModelStore
+  /// metering): it changes per-client latency and device-busy accounting
+  /// but provably cannot perturb training dynamics — with the same seed, a
+  /// simulation produces bit-identical model trajectories with this knob
+  /// on or off (equivalence suite in tests/sim_test.cpp).  Default off =
+  /// bit-identical behaviour AND metrics to the sequential runtime.
+  bool pipelined_clients = false;
+
   /// Whether updates travel through Asynchronous SecAgg.
   bool secagg_enabled = false;
 

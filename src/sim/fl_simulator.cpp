@@ -121,6 +121,66 @@ void FlSimulator::record_active(double now) {
   }
 }
 
+void FlSimulator::record_busy(double now) {
+  if (config_.record_utilization && config_.task.pipelined_clients) {
+    result_.busy_clients.add(now, static_cast<double>(busy_count_));
+  }
+}
+
+void FlSimulator::close_busy(std::size_t device, double now) {
+  DeviceState& state = devices_[device];
+  if (!state.busy_open) return;
+  state.busy_open = false;
+  assert(busy_count_ > 0);
+  --busy_count_;
+  record_busy(now);
+}
+
+void FlSimulator::plan_pipeline(std::size_t device, double download,
+                                double upload) {
+  // Plan the overlapped device-side schedule for this participation.  The
+  // chunk layout is known before training ends (the delta is always
+  // model_size parameters), the upload duration is the same single draw the
+  // sequential charge uses (split bytes-proportionally across chunks), and
+  // serialization is costed deterministically — so the plan consumes no
+  // randomness beyond the sequential runtime's.
+  DeviceState& state = devices_[device];
+  const std::uint64_t wire_bytes =
+      fl::serialized_update_bytes(config_.task.model_size);
+  const std::uint32_t chunks =
+      fl::chunk_count(wire_bytes, config_.upload_chunk_bytes);
+
+  std::vector<std::uint64_t> chunk_bytes(chunks, config_.upload_chunk_bytes);
+  chunk_bytes.back() =
+      wire_bytes - static_cast<std::uint64_t>(chunks - 1) *
+                       config_.upload_chunk_bytes;
+
+  fl::PipelineTimings timings;
+  timings.train_s = state.exec_time;
+  timings.upload_chunk_s = network_->split_upload_time(upload, chunk_bytes);
+  timings.serialize_chunk_s.reserve(chunks);
+  for (const std::uint64_t b : chunk_bytes) {
+    timings.serialize_chunk_s.push_back(network_->serialize_time_s(b));
+  }
+
+  fl::PipelinedClientSession pipeline(std::move(timings));
+  state.pipelined_latency_s = download + pipeline.finish_time();
+  state.upload_chunks = chunks;
+
+  // Device-busy accounting: the device is busy from join until its
+  // pipelined schedule drains (or until the participation ends early).
+  state.busy_open = true;
+  ++busy_count_;
+  record_busy(queue_.now());
+  const std::uint64_t generation = state.generation;
+  queue_.schedule_in(state.pipelined_latency_s,
+                     [this, device, generation](double t) {
+                       if (devices_[device].generation == generation) {
+                         close_busy(device, t);
+                       }
+                     });
+}
+
 void FlSimulator::schedule_check_in(std::size_t device, double delay) {
   queue_.schedule_in(delay, [this, device](double now) {
     if (!stopped_) handle_check_in(device, now);
@@ -174,6 +234,8 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   ++state.generation;
   state.version_at_join = join.model_version;
   state.join_time = now;
+  state.pipelined_latency_s = 0.0;
+  state.upload_chunks = 0;
   const std::vector<float>& model = aggregator->model(assignment->task);
   state.model_snapshot.assign(model.begin(), model.end());
   state.exec_time = population_->sample_exec_time(device, rng_);
@@ -188,6 +250,12 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   if (rng_.bernoulli(profile.dropout_prob)) {
     // Mid-participation dropout at a uniform point in local training.
     const double when = download + rng_.uniform() * state.exec_time;
+    if (config_.task.pipelined_clients) {
+      // Busy until the dropout ends the participation.
+      state.busy_open = true;
+      ++busy_count_;
+      record_busy(now);
+    }
     queue_.schedule_in(when, [this, device, generation](double t) {
       if (!stopped_) handle_dropout(device, generation, t);
     });
@@ -195,6 +263,9 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   }
 
   const double upload = network_->upload_time_s(model_bytes_, rng_);
+  if (config_.task.pipelined_clients) {
+    plan_pipeline(device, download, upload);
+  }
   queue_.schedule_in(download + state.exec_time + upload,
                      [this, device, generation](double t) {
                        if (!stopped_) handle_completion(device, generation, t);
@@ -205,6 +276,9 @@ void FlSimulator::end_participation(std::size_t device, double now,
                                     bool reschedule) {
   DeviceState& state = devices_[device];
   if (!state.participating) return;
+  // A participation that ends before its pipelined schedule drains
+  // (dropout, abort, timeout) frees the device now.
+  close_busy(device, now);
   state.participating = false;
   ++state.generation;  // cancels any in-flight events for this participation
   state.model_snapshot.clear();
@@ -285,14 +359,29 @@ void FlSimulator::handle_completion(std::size_t device,
     }
   } else {
     // Chunked upload (Sec. 6.1 stage 4): the serialized update travels as
-    // CRC-checked chunks and is reassembled server-side.
-    const util::Bytes serialized = training.update.serialize();
-    const auto chunks =
-        fl::chunk_upload(profile.id ^ state.generation, serialized,
-                         config_.upload_chunk_bytes);
-    fl::ChunkAssembler assembler(profile.id ^ state.generation);
-    for (const auto& chunk : chunks) {
-      assembler.accept(fl::UploadChunk::deserialize(chunk.serialize()));
+    // CRC-checked chunks and is reassembled server-side.  The pipelined
+    // runtime streams each chunk the moment its bytes are serialized; the
+    // sequential runtime materializes the full update first.  Both produce
+    // bit-identical chunk streams (guarded by tests/pipeline_test.cpp), so
+    // the knob cannot change what the server folds.
+    const std::uint64_t upload_session = profile.id ^ state.generation;
+    fl::ChunkAssembler assembler(upload_session);
+    std::uint32_t chunks_sent = 0;
+    if (config_.task.pipelined_clients) {
+      fl::stream_update_chunks(
+          upload_session, training.update, config_.upload_chunk_bytes,
+          /*block_floats=*/1024, [&](fl::UploadChunk chunk) {
+            assembler.accept(fl::UploadChunk::deserialize(chunk.serialize()));
+            ++chunks_sent;
+          });
+    } else {
+      const util::Bytes serialized = training.update.serialize();
+      const auto chunks = fl::chunk_upload(upload_session, serialized,
+                                           config_.upload_chunk_bytes);
+      for (const auto& chunk : chunks) {
+        assembler.accept(fl::UploadChunk::deserialize(chunk.serialize()));
+      }
+      chunks_sent = static_cast<std::uint32_t>(chunks.size());
     }
     const auto reassembled = assembler.assemble();
     if (!reassembled) {
@@ -301,6 +390,9 @@ void FlSimulator::handle_completion(std::size_t device,
     } else {
       report = aggregator.client_report(config_.task.name, *reassembled, now);
     }
+    // Ground truth from the bytes actually streamed (the plan in
+    // plan_pipeline agrees today, but the wire is authoritative).
+    state.upload_chunks = chunks_sent;
   }
 
   if (config_.record_participations) {
@@ -312,6 +404,11 @@ void FlSimulator::handle_completion(std::size_t device,
     rec.update_applied = report.outcome == fl::ReportOutcome::kAccepted;
     rec.staleness =
         aggregator.model_version(config_.task.name) - state.version_at_join;
+    rec.round_latency_s = now - state.join_time;
+    rec.pipelined_latency_s = config_.task.pipelined_clients
+                                  ? state.pipelined_latency_s
+                                  : rec.round_latency_s;
+    rec.upload_chunks = state.upload_chunks;
     result_.participations.push_back(rec);
   }
 

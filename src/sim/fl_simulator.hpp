@@ -111,6 +111,12 @@ struct SimulationResult {
 
   TimeSeries loss_curve;       ///< (sim time, evaluation loss)
   TimeSeries active_clients;   ///< (sim time, # active) when recorded
+  /// (sim time, # devices busy in their pipelined schedule).  Recorded only
+  /// when record_utilization and task.pipelined_clients are both set: a
+  /// pipelined device finishes its overlapped train/serialize/upload work
+  /// before its protocol slot closes, so this series sits below
+  /// active_clients — the gap is the overlap saving (Fig. 7 extension).
+  TimeSeries busy_clients;
   std::vector<ParticipationRecord> participations;
 
   double final_eval_loss = 0.0;
@@ -150,6 +156,11 @@ class FlSimulator {
     std::uint64_t version_at_join = 0;
     double join_time = 0.0;
     double exec_time = 0.0;
+    /// Pipelined runtime plan for this participation (pipelined mode only):
+    /// join → last chunk uploaded under the overlapped schedule.
+    double pipelined_latency_s = 0.0;
+    std::uint32_t upload_chunks = 0;
+    bool busy_open = false;  ///< device counted in the busy series
   };
 
   void schedule_check_in(std::size_t device, double delay);
@@ -166,6 +177,12 @@ class FlSimulator {
   void on_aborted_clients(const std::vector<std::uint64_t>& aborted, double now);
   void maybe_evaluate(double now, bool force);
   void record_active(double now);
+  /// Pipelined-mode device-busy accounting.  Purely observational: these
+  /// touch only metrics state (no RNG draws, no protocol state), so the
+  /// extra events cannot perturb the simulation's training dynamics.
+  void plan_pipeline(std::size_t device, double download, double upload);
+  void record_busy(double now);
+  void close_busy(std::size_t device, double now);
   bool should_stop() const { return stopped_; }
   void stop(double now);
 
@@ -194,6 +211,7 @@ class FlSimulator {
   std::uint64_t last_published_version_ = 0;
   std::uint64_t model_bytes_ = 0;
   std::size_t active_count_ = 0;
+  std::size_t busy_count_ = 0;  ///< pipelined-mode device-busy gauge
   bool stopped_ = false;
   std::string failed_aggregator_;  ///< injected failure, stops heartbeating
 };

@@ -34,6 +34,17 @@ struct ParticipationRecord {
   /// Whether the client dropped out mid-participation.
   bool dropped_out = false;
   std::uint64_t staleness = 0;    ///< at upload (applied updates only)
+
+  // -- Round-latency accounting (completed participations only) ------------
+  /// join → upload complete under the sequential stage-sum charge
+  /// (download + train + upload), i.e. the protocol-visible duration.
+  double round_latency_s = 0.0;
+  /// join → upload complete under the pipelined client runtime
+  /// (train ∥ serialize ∥ chunked upload).  Equals round_latency_s when
+  /// TaskConfig::pipelined_clients is off.
+  double pipelined_latency_s = 0.0;
+  /// Chunks the serialized update travelled as.
+  std::uint32_t upload_chunks = 0;
 };
 
 }  // namespace papaya::sim

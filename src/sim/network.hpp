@@ -7,7 +7,9 @@
 // sync-vs-async comparison, and it gives the "communication trips"
 // accounting a concrete byte volume.
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -18,6 +20,12 @@ struct NetworkConfig {
   double mean_upload_mbps = 8.0;
   double bandwidth_sigma = 0.5;  ///< log-normal spread across devices
   double rtt_s = 0.1;
+  /// Device-side serialization throughput (Mbit/s): how fast the client
+  /// runtime turns trained parameters into wire bytes (encode + flash
+  /// write).  Used by the pipelined client runtime to cost the serialize
+  /// stage; deliberately deterministic (no per-device jitter draw) so
+  /// enabling pipelining consumes no extra randomness.
+  double serialize_mbps = 160.0;
 };
 
 class NetworkModel {
@@ -31,6 +39,35 @@ class NetworkModel {
 
   double upload_time_s(std::uint64_t bytes, util::Rng& rng) const {
     return transfer_time(bytes, config_.mean_upload_mbps, rng);
+  }
+
+  /// Serialization cost of `bytes` on the device (deterministic).
+  double serialize_time_s(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / (config_.serialize_mbps * 1e6);
+  }
+
+  /// Split one drawn upload duration across the chunks of a chunked upload,
+  /// proportionally to chunk bytes.  The RTT (connection setup) is charged
+  /// to the first chunk; the chunk times sum back to exactly
+  /// `total_upload_s`, so the pipelined and sequential runtimes move the
+  /// same simulated byte volume in the same total transfer time and the
+  /// split consumes no extra randomness.
+  std::vector<double> split_upload_time(
+      double total_upload_s, const std::vector<std::uint64_t>& chunk_bytes) const {
+    std::uint64_t total_bytes = 0;
+    for (const std::uint64_t b : chunk_bytes) total_bytes += b;
+    const double transfer = std::max(0.0, total_upload_s - config_.rtt_s);
+    std::vector<double> times(chunk_bytes.size(), 0.0);
+    for (std::size_t i = 0; i < chunk_bytes.size(); ++i) {
+      const double frac =
+          total_bytes == 0
+              ? 1.0 / static_cast<double>(chunk_bytes.size())
+              : static_cast<double>(chunk_bytes[i]) /
+                    static_cast<double>(total_bytes);
+      times[i] = transfer * frac;
+    }
+    if (!times.empty()) times[0] += total_upload_s - transfer;
+    return times;
   }
 
   const NetworkConfig& config() const { return config_; }

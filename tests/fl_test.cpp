@@ -865,15 +865,24 @@ TEST(Chunking, CorruptChunkRejected) {
 }
 
 TEST(Chunking, WrongSessionOrInconsistentTotalsRejected) {
-  const auto chunks = chunk_upload(1, util::Bytes(300, 0x22), 100);
+  const util::Bytes payload(300, 0x22);
+  const auto chunks = chunk_upload(1, payload, 100);
   ChunkAssembler assembler(2);  // different session
   EXPECT_EQ(assembler.accept(chunks[0]), ChunkAssembler::Accept::kInconsistent);
 
   ChunkAssembler assembler2(1);
   assembler2.accept(chunks[0]);
+  // A tampered total no longer matches the framing-covering CRC: it is
+  // indistinguishable from line corruption.
   UploadChunk lying = chunks[1];
   lying.total = 99;
-  EXPECT_EQ(assembler2.accept(lying), ChunkAssembler::Accept::kInconsistent);
+  EXPECT_EQ(assembler2.accept(lying), ChunkAssembler::Accept::kCorrupt);
+  // An authentic chunk from a different chunking of the same session (other
+  // chunk size, so other total) is well-formed but inconsistent.
+  const auto rechunked = chunk_upload(1, payload, 150);
+  ASSERT_NE(rechunked[0].total, chunks[0].total);
+  EXPECT_EQ(assembler2.accept(rechunked[0]),
+            ChunkAssembler::Accept::kInconsistent);
 }
 
 TEST(Chunking, EmptyPayloadStillOneChunk) {
@@ -1314,6 +1323,84 @@ TEST(ExampleStore, FreshExamplesOutliveUsedOnes) {
   store.record_training_use(3.0);   // {1} retired at 2 uses; {2} at 1 use
   ASSERT_EQ(store.num_train_examples(), 1u);
   EXPECT_EQ(store.dataset().train.front(), (ml::Sequence{2}));
+}
+
+TEST(ExampleStore, UseBudgetBoundaryExactlyExhausted) {
+  // An example with max_uses = 3 must survive uses 1 and 2 and retire on
+  // exactly the third — off-by-one here silently halves or doubles every
+  // client's effective data budget.
+  RetentionPolicy policy;
+  policy.max_uses = 3;
+  ExampleStore store(policy);
+  store.add_example({1, 2}, 0.0);
+  store.record_training_use(1.0);
+  EXPECT_EQ(store.num_train_examples(), 1u);  // 1 use: within budget
+  store.record_training_use(2.0);
+  EXPECT_EQ(store.num_train_examples(), 1u);  // 2 uses: still within budget
+  store.record_training_use(3.0);
+  EXPECT_EQ(store.num_train_examples(), 0u);  // 3rd use exhausts it exactly
+}
+
+TEST(ExampleStore, AgeBoundaryAtPurgeTimeIsInclusive) {
+  // The policy retires examples *older* than max_age_s: an example whose
+  // age equals the cap exactly at purge time is still retained (strict >).
+  RetentionPolicy policy;
+  policy.max_age_s = 100.0;
+  ExampleStore store(policy);
+  store.add_example({1}, 0.0);
+  EXPECT_EQ(store.purge(100.0), 0u);  // age == cap: keep
+  EXPECT_EQ(store.num_train_examples(), 1u);
+  EXPECT_EQ(store.purge(100.5), 1u);  // age > cap: purge
+  EXPECT_EQ(store.num_train_examples(), 0u);
+}
+
+TEST(ExampleStore, CountCapEvictsInStrictIngestionOrder) {
+  RetentionPolicy policy;
+  policy.max_examples = 3;
+  ExampleStore store(policy);
+  for (std::int32_t i = 0; i < 6; ++i) {
+    store.add_example({i}, static_cast<double>(i));
+  }
+  // Six ingested through a cap of three: the three oldest are gone, the
+  // survivors keep ingestion order.
+  ASSERT_EQ(store.num_train_examples(), 3u);
+  EXPECT_EQ(store.dataset().train[0], (ml::Sequence{3}));
+  EXPECT_EQ(store.dataset().train[1], (ml::Sequence{4}));
+  EXPECT_EQ(store.dataset().train[2], (ml::Sequence{5}));
+}
+
+TEST(Eligibility, ParticipationExactlyAtIntervalBoundary) {
+  EligibilityPolicy policy;
+  policy.min_participation_interval_s = 100.0;
+  const DeviceConditions ok;
+  // Exactly at the interval: eligible (the policy is a >= bound).
+  EXPECT_TRUE(policy.eligible(ok, 50.0, 150.0));
+  // One tick short: still blocked.
+  EXPECT_FALSE(policy.eligible(ok, 50.0, 149.999));
+  // Zero interval: an immediate repeat participation is allowed.
+  EligibilityPolicy zero;
+  EXPECT_TRUE(zero.eligible(ok, 10.0, 10.0));
+}
+
+TEST(Eligibility, EachConditionFlagIndividuallyBlocksCheckIn) {
+  // Through the ClientRuntime check-in path, not just the bare policy:
+  // each DeviceConditions flag on its own must block participation.
+  const EligibilityPolicy policy;
+  ClientRuntime runtime(1, ExampleStore{RetentionPolicy{}});
+  ASSERT_TRUE(runtime.check_in_allowed(policy, 0.0));
+
+  runtime.conditions() = {.idle = false, .charging = true,
+                          .unmetered_network = true};
+  EXPECT_FALSE(runtime.check_in_allowed(policy, 0.0));
+  runtime.conditions() = {.idle = true, .charging = false,
+                          .unmetered_network = true};
+  EXPECT_FALSE(runtime.check_in_allowed(policy, 0.0));
+  runtime.conditions() = {.idle = true, .charging = true,
+                          .unmetered_network = false};
+  EXPECT_FALSE(runtime.check_in_allowed(policy, 0.0));
+  runtime.conditions() = {.idle = true, .charging = true,
+                          .unmetered_network = true};
+  EXPECT_TRUE(runtime.check_in_allowed(policy, 0.0));
 }
 
 TEST(ExampleStore, BulkLoadStartsWithZeroUses) {

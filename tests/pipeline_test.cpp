@@ -1,0 +1,341 @@
+// The pipelined client runtime (Sec. 6.1 stage overlap):
+//   - ChunkSerializer streams chunks the moment their bytes are serialized
+//     and its chunk stream is bit-identical to the materialize-then-split
+//     path, so pipelining can never change what the server reassembles.
+//   - PipelinedClientSession orders the train ∥ serialize ∥ upload stages by
+//     the pipeline recurrences and its total latency is bounded by the
+//     slowest stage plus residuals, never worse than the stage sum.
+//   - VirtualSessionManager upload progress: streamed chunks keep a session
+//     alive chunk by chunk.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fl/chunking.hpp"
+#include "fl/client_runtime.hpp"
+#include "fl/model_update.hpp"
+#include "fl/session.hpp"
+#include "util/rng.hpp"
+
+namespace papaya::fl {
+namespace {
+
+using Event = PipelinedClientSession::Event;
+
+util::Bytes random_payload(util::Rng& rng, std::size_t size) {
+  util::Bytes payload(size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return payload;
+}
+
+// ---------------------------------------------------------- ChunkSerializer --
+
+TEST(ChunkSerializer, BitIdenticalToChunkUpload) {
+  util::Rng rng(41);
+  for (const std::size_t size : {0UL, 1UL, 99UL, 100UL, 101UL, 4096UL}) {
+    for (const std::size_t chunk_size : {1UL, 7UL, 100UL, 8192UL}) {
+      const util::Bytes payload = random_payload(rng, size);
+      const auto expected = chunk_upload(9, payload, chunk_size);
+
+      ChunkSerializer serializer(9, payload.size(), chunk_size);
+      std::vector<UploadChunk> streamed;
+      // Feed in uneven slices to exercise chunk-boundary straddling.
+      std::size_t pos = 0;
+      while (pos < payload.size()) {
+        const std::size_t n =
+            std::min(payload.size() - pos, 1 + rng.uniform_int(200));
+        serializer.append(std::span<const std::uint8_t>(payload).subspan(pos, n));
+        pos += n;
+        while (serializer.has_ready()) streamed.push_back(serializer.pop_ready());
+      }
+      while (serializer.has_ready()) streamed.push_back(serializer.pop_ready());
+
+      EXPECT_TRUE(serializer.finished());
+      ASSERT_EQ(streamed.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        // Wire-level equality: same framing, payload bytes and CRC.
+        EXPECT_EQ(streamed[i].serialize(), expected[i].serialize())
+            << "size " << size << " chunk_size " << chunk_size << " chunk " << i;
+      }
+    }
+  }
+}
+
+TEST(ChunkSerializer, EmitsEachChunkAsSoonAsItsBytesAreComplete) {
+  ChunkSerializer serializer(1, 10, 4);  // chunks of 4, 4, 2 bytes
+  EXPECT_EQ(serializer.total_chunks(), 3u);
+  const util::Bytes bytes(10, 0x5a);
+  const std::span<const std::uint8_t> all(bytes);
+
+  serializer.append(all.subspan(0, 3));
+  EXPECT_FALSE(serializer.has_ready());  // 3 < 4: chunk 0 incomplete
+  serializer.append(all.subspan(3, 1));
+  EXPECT_EQ(serializer.chunks_emitted(), 1u);  // byte 4 completes chunk 0
+  serializer.append(all.subspan(4, 5));
+  EXPECT_EQ(serializer.chunks_emitted(), 2u);  // chunk 1 full, chunk 2 short
+  EXPECT_FALSE(serializer.finished());
+  serializer.append(all.subspan(9, 1));
+  // The final short chunk is emitted the moment the last byte lands.
+  EXPECT_EQ(serializer.chunks_emitted(), 3u);
+  EXPECT_TRUE(serializer.finished());
+}
+
+TEST(ChunkSerializer, EmptyPayloadStillEmitsOneChunk) {
+  ChunkSerializer serializer(3, 0, 64);
+  EXPECT_TRUE(serializer.finished());
+  ASSERT_TRUE(serializer.has_ready());
+  const UploadChunk chunk = serializer.pop_ready();
+  EXPECT_EQ(chunk.total, 1u);
+  EXPECT_TRUE(chunk.payload.empty());
+  ChunkAssembler assembler(3);
+  EXPECT_EQ(assembler.accept(chunk), ChunkAssembler::Accept::kComplete);
+}
+
+TEST(ChunkSerializer, OverflowAndMisuseThrow) {
+  ChunkSerializer serializer(1, 4, 4);
+  const util::Bytes bytes(5, 0);
+  EXPECT_THROW(serializer.append(bytes), std::invalid_argument);
+  EXPECT_THROW(ChunkSerializer(1, 10, 0), std::invalid_argument);
+  ChunkSerializer empty_done(1, 0, 4);
+  (void)empty_done.pop_ready();
+  EXPECT_THROW(empty_done.pop_ready(), std::logic_error);
+}
+
+TEST(StreamUpdateChunks, MatchesSequentialSerializeAndReassembles) {
+  util::Rng rng(77);
+  ModelUpdate update;
+  update.client_id = 11;
+  update.initial_version = 5;
+  update.num_examples = 42;
+  update.delta.resize(3000);
+  for (auto& v : update.delta) v = static_cast<float>(rng.normal());
+
+  const util::Bytes serialized = update.serialize();
+  EXPECT_EQ(serialized.size(), serialized_update_bytes(update.delta.size()));
+
+  for (const std::size_t chunk_size : {64UL, 1000UL, 1UL << 20}) {
+    const auto expected = chunk_upload(8, serialized, chunk_size);
+    std::vector<UploadChunk> streamed;
+    ChunkAssembler assembler(8);
+    const std::uint64_t total = stream_update_chunks(
+        8, update, chunk_size, /*block_floats=*/128, [&](UploadChunk chunk) {
+          const auto verdict =
+              assembler.accept(UploadChunk::deserialize(chunk.serialize()));
+          EXPECT_TRUE(verdict == ChunkAssembler::Accept::kAccepted ||
+                      verdict == ChunkAssembler::Accept::kComplete);
+          streamed.push_back(std::move(chunk));
+        });
+    EXPECT_EQ(total, serialized.size());
+    ASSERT_EQ(streamed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(streamed[i].serialize(), expected[i].serialize());
+    }
+    const auto reassembled = assembler.assemble();
+    ASSERT_TRUE(reassembled.has_value());
+    EXPECT_EQ(*reassembled, serialized);
+    const ModelUpdate back = ModelUpdate::deserialize(*reassembled);
+    EXPECT_EQ(back.client_id, update.client_id);
+    EXPECT_EQ(back.delta, update.delta);
+  }
+}
+
+// --------------------------------------------------- PipelinedClientSession --
+
+PipelineTimings uniform_timings(double train, std::size_t chunks,
+                                double serialize_each, double upload_each) {
+  PipelineTimings t;
+  t.train_s = train;
+  t.serialize_chunk_s.assign(chunks, serialize_each);
+  t.upload_chunk_s.assign(chunks, upload_each);
+  return t;
+}
+
+/// Reference implementation of the pipeline recurrences, for cross-checking
+/// the event-driven machine.
+double reference_finish(const PipelineTimings& t) {
+  const std::size_t n = t.upload_chunk_s.size();
+  double serialize_done = 0.0;
+  double upload_done = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ready =
+        t.readiness == PipelineTimings::Readiness::kPostTraining
+            ? t.train_s
+            : t.train_s * static_cast<double>(i + 1) / static_cast<double>(n);
+    serialize_done =
+        std::max(ready, serialize_done) + t.serialize_chunk_s[i];
+    upload_done = std::max(serialize_done, upload_done) + t.upload_chunk_s[i];
+  }
+  return upload_done;
+}
+
+TEST(PipelinedClientSession, EventOrderInvariants) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t chunks = 1 + rng.uniform_int(12);
+    PipelineTimings t;
+    t.train_s = rng.uniform(0.0, 20.0);
+    for (std::size_t i = 0; i < chunks; ++i) {
+      t.serialize_chunk_s.push_back(rng.uniform(0.0, 2.0));
+      t.upload_chunk_s.push_back(rng.uniform(0.0, 5.0));
+    }
+    if (trial % 2 == 1) {
+      t.readiness = PipelineTimings::Readiness::kPostTraining;
+    }
+
+    PipelinedClientSession session(t);
+    double last_at = 0.0;
+    std::size_t serialized = 0, uploaded = 0;
+    bool trained = false;
+    while (!session.done()) {
+      const Event event = session.advance();
+      EXPECT_GE(event.at, last_at);  // the virtual clock never rewinds
+      last_at = event.at;
+      switch (event.kind) {
+        case Event::Kind::kTrainingComplete:
+          EXPECT_FALSE(trained);
+          EXPECT_DOUBLE_EQ(event.at, t.train_s);
+          trained = true;
+          break;
+        case Event::Kind::kChunkSerialized:
+          EXPECT_EQ(event.chunk, serialized);  // FIFO chunk order
+          ++serialized;
+          break;
+        case Event::Kind::kChunkUploaded:
+          EXPECT_EQ(event.chunk, uploaded);
+          ++uploaded;
+          EXPECT_LE(uploaded, serialized);  // never upload before serialized
+          break;
+      }
+    }
+    EXPECT_TRUE(trained);
+    EXPECT_EQ(serialized, chunks);
+    EXPECT_EQ(uploaded, chunks);
+    EXPECT_DOUBLE_EQ(session.now(), reference_finish(t));
+    // Overlap can only help, and the machine never beats the physical
+    // floor: every stage's own total.
+    const double sequential = PipelinedClientSession::sequential_latency(t);
+    EXPECT_LE(session.now(), sequential + 1e-12);
+    double upload_total = 0.0;
+    for (const double u : t.upload_chunk_s) upload_total += u;
+    EXPECT_GE(session.now(), t.train_s);        // last chunk waits for train
+    EXPECT_GE(session.now(), upload_total);     // the uplink is serial
+  }
+}
+
+TEST(PipelinedClientSession, TrainDominatedLatencyIsTrainPlusResidual) {
+  // Train 100 s, 4 chunks at 1 s serialize + 2 s upload.  The last chunk's
+  // bytes are final only when training ends, so latency = train + one
+  // serialize + one upload — the issue's max(train, ...) + residual shape.
+  const PipelineTimings t = uniform_timings(100.0, 4, 1.0, 2.0);
+  PipelinedClientSession session(t);
+  EXPECT_DOUBLE_EQ(session.finish_time(), 100.0 + 1.0 + 2.0);
+  // Sequential would charge the full stage sum.
+  EXPECT_DOUBLE_EQ(PipelinedClientSession::sequential_latency(t),
+                   100.0 + 4.0 + 8.0);
+}
+
+TEST(PipelinedClientSession, UploadDominatedLatencyHidesTraining) {
+  // Upload dwarfs training: chunk 0 is ready at train/4 and the uplink
+  // stays busy from then on — training and serialization vanish into the
+  // first chunk's readiness.
+  const PipelineTimings t = uniform_timings(4.0, 4, 0.0, 50.0);
+  PipelinedClientSession session(t);
+  EXPECT_DOUBLE_EQ(session.finish_time(), 1.0 + 200.0);
+  EXPECT_DOUBLE_EQ(PipelinedClientSession::sequential_latency(t), 204.0);
+}
+
+TEST(PipelinedClientSession, PostTrainingReadinessOnlyOverlapsUploads) {
+  PipelineTimings t = uniform_timings(10.0, 3, 1.0, 5.0);
+  t.readiness = PipelineTimings::Readiness::kPostTraining;
+  PipelinedClientSession session(t);
+  // Serialization starts at 10; chunk i serialized at 10 + (i+1); uploads
+  // chain behind: 11+5=16, 21, 26.
+  while (!session.done()) {
+    const Event event = session.advance();
+    if (event.kind == Event::Kind::kChunkSerialized) {
+      EXPECT_GE(event.at, t.train_s + 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(session.now(), 26.0);
+}
+
+TEST(PipelinedClientSession, SingleChunkHasNoOverlapToExploit) {
+  const PipelineTimings t = uniform_timings(10.0, 1, 2.0, 3.0);
+  PipelinedClientSession session(t);
+  EXPECT_DOUBLE_EQ(session.finish_time(),
+                   PipelinedClientSession::sequential_latency(t));
+}
+
+TEST(PipelinedClientSession, StageIsTheEarliestIncompleteStage) {
+  const PipelineTimings t = uniform_timings(10.0, 2, 1.0, 1.0);
+  PipelinedClientSession session(t);
+  EXPECT_EQ(session.stage(), PipelinedClientSession::Stage::kTraining);
+  // Chunk 0 serializes (t=6) and uploads (t=7) while training runs.
+  (void)session.advance();
+  (void)session.advance();
+  EXPECT_EQ(session.stage(), PipelinedClientSession::Stage::kTraining);
+  EXPECT_EQ(session.chunks_uploaded(), 1u);
+  while (!session.done()) (void)session.advance();
+  EXPECT_EQ(session.stage(), PipelinedClientSession::Stage::kDone);
+}
+
+TEST(PipelinedClientSession, InvalidTimingsThrow) {
+  PipelineTimings t;  // no chunks
+  t.train_s = 1.0;
+  EXPECT_THROW(PipelinedClientSession{t}, std::invalid_argument);
+  t.serialize_chunk_s = {1.0, 1.0};
+  t.upload_chunk_s = {1.0};  // length mismatch
+  EXPECT_THROW(PipelinedClientSession{t}, std::invalid_argument);
+  t.upload_chunk_s = {1.0, -0.5};
+  EXPECT_THROW(PipelinedClientSession{t}, std::invalid_argument);
+  t.upload_chunk_s = {1.0, 1.0};
+  t.train_s = -1.0;
+  EXPECT_THROW(PipelinedClientSession{t}, std::invalid_argument);
+  PipelinedClientSession done(uniform_timings(0.0, 1, 0.0, 0.0));
+  (void)done.finish_time();
+  EXPECT_THROW(done.peek(), std::logic_error);
+}
+
+// --------------------------------------------- Session-manager integration --
+
+TEST(SessionUploadProgress, StreamedChunksKeepTheSessionAlive) {
+  VirtualSessionManager::Options options;
+  options.session_ttl_s = 30.0;
+  VirtualSessionManager sessions(options);
+  const std::uint64_t token = sessions.open(1, 0.0);
+
+  // A pipelined client training for 100 s streams a chunk every 20 s —
+  // each chunk refreshes the TTL, so the session survives end to end.
+  double now = 0.0;
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    now += 20.0;
+    EXPECT_EQ(sessions.record_chunk(token, now), SessionOutcome::kOk);
+  }
+  const auto info = sessions.lookup(token);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->chunks_uploaded, 5u);
+  EXPECT_EQ(info->stage, SessionStage::kUploading);
+  EXPECT_EQ(sessions.complete(token, now), SessionOutcome::kOk);
+
+  // A silent sequential client with the same 100 s training time expires.
+  const std::uint64_t silent = sessions.open(2, 0.0);
+  EXPECT_EQ(sessions.record_chunk(silent, 100.0), SessionOutcome::kExpired);
+}
+
+TEST(SessionUploadProgress, ChunksNeverRewindOrReviveASession) {
+  VirtualSessionManager sessions;
+  const std::uint64_t token = sessions.open(1, 0.0);
+  ASSERT_EQ(sessions.advance(token, SessionStage::kUploading, 1.0),
+            SessionOutcome::kOk);
+  EXPECT_EQ(sessions.record_chunk(token, 2.0), SessionOutcome::kOk);
+  EXPECT_EQ(sessions.lookup(token)->stage, SessionStage::kUploading);
+  ASSERT_EQ(sessions.complete(token, 3.0), SessionOutcome::kOk);
+  EXPECT_EQ(sessions.record_chunk(token, 4.0), SessionOutcome::kTerminal);
+  EXPECT_EQ(sessions.record_chunk(999, 4.0), SessionOutcome::kUnknownToken);
+}
+
+}  // namespace
+}  // namespace papaya::fl

@@ -7,13 +7,17 @@
 //   - model-gradient checks across architectures and shapes
 //   - FedBuff weighting invariants
 //   - serialization round-trips under random payloads
+//   - chunked-upload reassembly under reordering, duplication, corruption
+//     and cross-session interleaving (bit-identical or clean rejection)
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
 #include "crypto/bigint.hpp"
+#include "fl/chunking.hpp"
 #include "fl/model_update.hpp"
 #include "ml/model.hpp"
 #include "secagg/fixed_point.hpp"
@@ -296,6 +300,135 @@ TEST_P(SerializationSweep, TruncatedUpdateThrowsInsteadOfCrashing) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationSweep,
                          ::testing::Values(1, 2, 3));
+
+// ------------------------------------------- Chunked-upload reassembly ----
+
+class ChunkAssemblerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t size) {
+  util::Bytes bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return bytes;
+}
+
+/// Flip one random bit somewhere in a chunk's serialized form (framing or
+/// payload) and deserialize it back — models line corruption anywhere in
+/// the message, not just the payload.  A flip in the payload length prefix
+/// can truncate the message, which deserialize() rejects by throwing; that
+/// is already a clean rejection, so retry until the flip yields a chunk
+/// that parses.
+fl::UploadChunk corrupt_anywhere(const fl::UploadChunk& chunk,
+                                 util::Rng& rng) {
+  for (;;) {
+    util::Bytes wire = chunk.serialize();
+    const std::size_t byte = rng.uniform_int(wire.size());
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    try {
+      return fl::UploadChunk::deserialize(wire);
+    } catch (const std::out_of_range&) {
+      // Truncating corruption: rejected at parse time; try another flip.
+    }
+  }
+}
+
+TEST_P(ChunkAssemblerFuzz, ReassemblesBitIdenticalOrRejectsCleanly) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const util::Bytes payload_a = random_bytes(rng, rng.uniform_int(3000));
+    const util::Bytes payload_b = random_bytes(rng, 1 + rng.uniform_int(500));
+    const std::size_t chunk_size = 1 + rng.uniform_int(256);
+    auto chunks_a = fl::chunk_upload(100, payload_a, chunk_size);
+    auto chunks_b = fl::chunk_upload(200, payload_b, chunk_size);
+
+    // Build a hostile delivery schedule for session A: every chunk at
+    // least once, plus duplicates, corrupted copies, and session-B chunks
+    // interleaved throughout; then shuffle the lot.
+    struct Delivery {
+      fl::UploadChunk chunk;
+      enum class Kind { kGood, kDuplicateOrGood, kCorrupt, kForeign } kind;
+    };
+    std::vector<Delivery> schedule;
+    for (const auto& chunk : chunks_a) {
+      schedule.push_back({chunk, Delivery::Kind::kGood});
+      if (rng.bernoulli(0.4)) {
+        schedule.push_back({chunk, Delivery::Kind::kDuplicateOrGood});
+      }
+      if (rng.bernoulli(0.5)) {
+        const fl::UploadChunk bad = corrupt_anywhere(chunk, rng);
+        // A bit-flip can toggle the session id to something foreign.
+        schedule.push_back({bad, bad.session_id == 100
+                                     ? Delivery::Kind::kCorrupt
+                                     : Delivery::Kind::kForeign});
+      }
+    }
+    for (const auto& chunk : chunks_b) {
+      schedule.push_back({chunk, Delivery::Kind::kForeign});
+    }
+    for (std::size_t i = schedule.size(); i > 1; --i) {
+      std::swap(schedule[i - 1], schedule[rng.uniform_int(i)]);
+    }
+
+    fl::ChunkAssembler assembler(100);
+    fl::ChunkAssembler assembler_b(200);
+    for (const auto& delivery : schedule) {
+      const auto verdict = assembler.accept(delivery.chunk);
+      switch (delivery.kind) {
+        case Delivery::Kind::kGood:
+        case Delivery::Kind::kDuplicateOrGood:
+          // Good chunks are only ever accepted or flagged as duplicates —
+          // never rejected.
+          EXPECT_TRUE(verdict == fl::ChunkAssembler::Accept::kAccepted ||
+                      verdict == fl::ChunkAssembler::Accept::kComplete ||
+                      verdict == fl::ChunkAssembler::Accept::kDuplicate);
+          break;
+        case Delivery::Kind::kForeign:
+          EXPECT_EQ(verdict, fl::ChunkAssembler::Accept::kInconsistent);
+          break;
+        case Delivery::Kind::kCorrupt:
+          // Any single-bit flip that keeps the session id must be caught:
+          // the framing-covering CRC leaves no silent slot for it.
+          EXPECT_TRUE(verdict == fl::ChunkAssembler::Accept::kCorrupt ||
+                      verdict == fl::ChunkAssembler::Accept::kInconsistent)
+              << "corrupt chunk slipped through as " << static_cast<int>(verdict);
+          break;
+      }
+      if (delivery.kind == Delivery::Kind::kForeign &&
+          delivery.chunk.session_id == 200) {
+        assembler_b.accept(delivery.chunk);
+      }
+    }
+
+    // All good chunks were delivered: reassembly must be bit-identical.
+    ASSERT_TRUE(assembler.complete());
+    EXPECT_EQ(*assembler.assemble(), payload_a);
+    ASSERT_TRUE(assembler_b.complete());
+    EXPECT_EQ(*assembler_b.assemble(), payload_b);
+  }
+}
+
+TEST_P(ChunkAssemblerFuzz, MissingChunksRejectCleanlyInsteadOfGuessing) {
+  util::Rng rng(GetParam() ^ 0xc0ffee);
+  for (int trial = 0; trial < 20; ++trial) {
+    const util::Bytes payload = random_bytes(rng, 200 + rng.uniform_int(2000));
+    auto chunks = fl::chunk_upload(5, payload, 64 + rng.uniform_int(128));
+    if (chunks.size() < 2) continue;
+    // Withhold one random chunk.
+    const std::size_t withheld = rng.uniform_int(chunks.size());
+    fl::ChunkAssembler assembler(5);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (i != withheld) assembler.accept(chunks[i]);
+    }
+    EXPECT_FALSE(assembler.complete());
+    EXPECT_FALSE(assembler.assemble().has_value());
+    // Late delivery completes it with the exact original bytes.
+    EXPECT_EQ(assembler.accept(chunks[withheld]),
+              fl::ChunkAssembler::Accept::kComplete);
+    EXPECT_EQ(*assembler.assemble(), payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkAssemblerFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
 
 }  // namespace
 }  // namespace papaya

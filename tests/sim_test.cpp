@@ -308,6 +308,103 @@ TEST(Simulator, BatchedSecAggModeMatchesPerUpdateMode) {
   EXPECT_EQ(a.final_model, b.final_model);
 }
 
+// ------------------------------------------------ Pipelined client runtime --
+
+TEST(Simulator, PipelinedModeMatchesSequentialBitForBit) {
+  // TaskConfig::pipelined_clients is an observational latency model (like
+  // ModelStore metering): with the same seed, pipelining on and off must
+  // produce identical model trajectories, applied-update counts, and event
+  // schedules — only per-client latency metrics may differ.
+  SimulationConfig cfg = store_config();
+  cfg.max_server_steps = 12;
+  FlSimulator sequential(cfg);
+  cfg.task.pipelined_clients = true;
+  FlSimulator pipelined(cfg);
+
+  const auto a = sequential.run();
+  const auto b = pipelined.run();
+  EXPECT_EQ(a.final_model, b.final_model);
+  EXPECT_EQ(a.server_steps, b.server_steps);
+  EXPECT_EQ(a.task_stats.updates_applied, b.task_stats.updates_applied);
+  EXPECT_EQ(a.task_stats.updates_received, b.task_stats.updates_received);
+  EXPECT_EQ(a.task_stats.updates_discarded, b.task_stats.updates_discarded);
+  EXPECT_EQ(a.participations_started, b.participations_started);
+  EXPECT_DOUBLE_EQ(a.end_time_s, b.end_time_s);
+  // The whole trajectory, not just the endpoint: identical evaluation
+  // points at identical times.
+  EXPECT_EQ(a.loss_curve.times, b.loss_curve.times);
+  EXPECT_EQ(a.loss_curve.values, b.loss_curve.values);
+}
+
+TEST(Simulator, PipelinedLatencyDropsWhileDynamicsUnchanged) {
+  // With multi-chunk uploads the pipelined schedule genuinely overlaps
+  // train/serialize/upload: every completed participation's pipelined
+  // latency must beat the sequential stage-sum charge, while the protocol
+  // schedule (and therefore every record's identity and timing) matches
+  // the sequential run exactly.
+  SimulationConfig cfg = store_config();
+  cfg.upload_chunk_bytes = 256;  // force several chunks per upload
+  cfg.max_server_steps = 10;
+  FlSimulator sequential(cfg);
+  cfg.task.pipelined_clients = true;
+  FlSimulator pipelined(cfg);
+
+  const auto a = sequential.run();
+  const auto b = pipelined.run();
+  EXPECT_EQ(a.final_model, b.final_model);
+  ASSERT_EQ(a.participations.size(), b.participations.size());
+
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < a.participations.size(); ++i) {
+    const auto& seq = a.participations[i];
+    const auto& pipe = b.participations[i];
+    EXPECT_EQ(seq.client_id, pipe.client_id);
+    EXPECT_EQ(seq.update_applied, pipe.update_applied);
+    EXPECT_DOUBLE_EQ(seq.start_time, pipe.start_time);
+    EXPECT_DOUBLE_EQ(seq.round_latency_s, pipe.round_latency_s);
+    if (seq.round_latency_s > 0.0) {  // completed participation
+      ++completed;
+      // Sequential mode reports the stage sum for both metrics.
+      EXPECT_DOUBLE_EQ(seq.pipelined_latency_s, seq.round_latency_s);
+      // Pipelined mode strictly beats it once there is overlap to exploit.
+      EXPECT_GT(pipe.upload_chunks, 1u);
+      EXPECT_LT(pipe.pipelined_latency_s, pipe.round_latency_s);
+      EXPECT_GT(pipe.pipelined_latency_s, 0.0);
+    }
+  }
+  EXPECT_GT(completed, 0u);
+}
+
+TEST(Simulator, PipelinedRunIsDeterministicIncludingBusySeries) {
+  SimulationConfig cfg = store_config();
+  cfg.task.pipelined_clients = true;
+  cfg.record_utilization = true;
+  cfg.max_server_steps = 6;
+  FlSimulator first(cfg);
+  FlSimulator second(cfg);
+  const auto a = first.run();
+  const auto b = second.run();
+  EXPECT_EQ(a.final_model, b.final_model);
+  EXPECT_EQ(a.busy_clients.times, b.busy_clients.times);
+  EXPECT_EQ(a.busy_clients.values, b.busy_clients.values);
+  EXPECT_GT(a.busy_clients.size(), 0u);
+  // The busy gauge stays within the concurrency envelope.
+  for (const double v : a.busy_clients.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, static_cast<double>(cfg.task.concurrency));
+  }
+}
+
+TEST(Simulator, BusySeriesOnlyRecordedWhenPipelined) {
+  SimulationConfig cfg = store_config();
+  cfg.record_utilization = true;
+  cfg.max_server_steps = 4;
+  FlSimulator simulator(cfg);
+  const auto result = simulator.run();
+  EXPECT_GT(result.active_clients.size(), 0u);
+  EXPECT_EQ(result.busy_clients.size(), 0u);
+}
+
 TEST(Simulator, BatchedPlaintextDrainMatchesPerUpdateDrain) {
   // On the plaintext path the batch size only changes queue-lock
   // amortization: single-worker shards fold in FIFO order either way, so
