@@ -9,14 +9,45 @@
 // AsyncFL uses a fixed aggregation goal (paper: K=100; scaled: K=13);
 // SyncFL uses 30% over-selection (goal = concurrency / 1.3).
 
+// CI determinism hooks (scripts/check_determinism.sh):
+//   PAPAYA_FIG9_EXPORT=path  append every loss-curve point (full precision)
+//                            to `path` so runs can be byte-diffed;
+//   PAPAYA_FIG9_PIPELINED=1  toggle task.pipelined_clients (observational:
+//                            the exported trajectories must not change);
+//   PAPAYA_FIG9_QUICK=1      first two concurrencies only (CI budget).
+
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common.hpp"
 
+namespace {
+
+void export_curve(std::FILE* out, const char* mode, std::size_t concurrency,
+                  const papaya::sim::SimulationResult& result) {
+  if (out == nullptr) return;
+  for (std::size_t i = 0; i < result.loss_curve.size(); ++i) {
+    std::fprintf(out, "%s,%zu,%.17g,%.17g\n", mode, concurrency,
+                 result.loss_curve.times[i], result.loss_curve.values[i]);
+  }
+}
+
+}  // namespace
+
 int main() {
   using namespace papaya;
   using namespace papaya::bench;
+
+  const char* export_path = std::getenv("PAPAYA_FIG9_EXPORT");
+  std::FILE* export_file =
+      export_path != nullptr ? std::fopen(export_path, "w") : nullptr;
+  if (export_path != nullptr && export_file == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for export\n", export_path);
+    return 1;
+  }
+  const bool pipelined = std::getenv("PAPAYA_FIG9_PIPELINED") != nullptr;
+  const bool quick = std::getenv("PAPAYA_FIG9_QUICK") != nullptr;
 
   print_header("Figure 9: time-to-target-loss and communication trips vs concurrency");
   std::printf("target loss: %.2f (scaled stand-in for the paper's target)\n\n",
@@ -25,18 +56,21 @@ int main() {
               "sync (h)", "async (h)", "speedup", "sync trips", "async trips",
               "trip ratio");
 
-  const std::vector<std::size_t> concurrencies{26, 52, 104, 208, 416};
+  std::vector<std::size_t> concurrencies{26, 52, 104, 208, 416};
+  if (quick) concurrencies.resize(2);
   for (const std::size_t concurrency : concurrencies) {
     // SyncFL with 30% over-selection: goal = concurrency / 1.3.
     const auto goal = static_cast<std::size_t>(
         static_cast<double>(concurrency) / (1.0 + kOverSelection) + 0.5);
     sim::SimulationConfig sync_cfg = sync_config(goal, kOverSelection);
     sync_cfg.task.concurrency = concurrency;
+    sync_cfg.task.pipelined_clients = pipelined;
     sync_cfg.target_loss = kTargetLoss;
     sync_cfg.max_sim_time_s = 4.0e5;
     sync_cfg.record_participations = false;
     sim::FlSimulator sync_sim(sync_cfg);
     const sim::SimulationResult sync_result = sync_sim.run();
+    export_curve(export_file, "sync", concurrency, sync_result);
 
     // AsyncFL aggregation goal: ~12.5% of concurrency, floored at 13
     // (Sec. 7.1: "choosing K to be 10-30% of concurrency works well in
@@ -45,11 +79,13 @@ int main() {
     // the top of the sweep — staleness grows with concurrency/K.
     const std::size_t async_goal = std::max<std::size_t>(13, concurrency / 8);
     sim::SimulationConfig async_cfg = async_config(concurrency, async_goal);
+    async_cfg.task.pipelined_clients = pipelined;
     async_cfg.target_loss = kTargetLoss;
     async_cfg.max_sim_time_s = 4.0e5;
     async_cfg.record_participations = false;
     sim::FlSimulator async_sim(async_cfg);
     const sim::SimulationResult async_result = async_sim.run();
+    export_curve(export_file, "async", concurrency, async_result);
 
     const double sync_h = sim_hours(sync_result.time_to_target_s);
     const double async_h = sim_hours(async_result.time_to_target_s);
@@ -70,5 +106,6 @@ int main() {
       "\nExpected shape (paper Fig. 9): speedup grows with concurrency "
       "(2x -> 5x);\nasync trips ~flat while sync trips grow (ratio 2x -> "
       "8x).\n");
+  if (export_file != nullptr) std::fclose(export_file);
   return 0;
 }

@@ -11,13 +11,35 @@
 # The build directory defaults to ./build; the CMake `bench` target invokes
 # this script with PAPAYA_BENCH_DIR pointing at the active build tree.
 #
-# Usage: scripts/bench.sh [name-filter]
-#   e.g. scripts/bench.sh fig2      # only benches whose name contains "fig2"
+# Usage: scripts/bench.sh [--compare] [name-filter]
+#   e.g. scripts/bench.sh fig2            # only benches matching "fig2"
+#        scripts/bench.sh --compare fig13 # regenerate + delta vs committed
+#
+# --compare enforces the ROADMAP "perf baseline discipline": after each
+# bench regenerates its BENCH_*.json, every time metric is diffed against
+# the baseline committed at HEAD (git show), the delta is printed, and the
+# script exits nonzero if any metric regressed by more than
+# PAPAYA_BENCH_TOLERANCE (default 0.10 = +10%).  Regression means *slower*:
+# micro benches compare per-benchmark real_time, figure benches compare the
+# envelope's wall-clock seconds.
 set -uo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${PAPAYA_BENCH_DIR:-$ROOT/build}"
-FILTER="${1:-}"
+TOLERANCE="${PAPAYA_BENCH_TOLERANCE:-0.10}"
+
+COMPARE=0
+FILTER=""
+for arg in "$@"; do
+  case "$arg" in
+    --compare) COMPARE=1 ;;
+    --*)
+      echo "error: unknown flag '$arg' (usage: bench.sh [--compare] [filter])" >&2
+      exit 2
+      ;;
+    *) FILTER="$arg" ;;
+  esac
+done
 
 if ! command -v jq > /dev/null; then
   echo "error: jq is required to collect bench results" >&2
@@ -32,6 +54,61 @@ fi
 
 failures=0
 ran=0
+compare_failures=0
+
+# Print the delta of each time metric in $2 (fresh JSON) against the
+# baseline committed at HEAD for bench $1; count metrics beyond TOLERANCE.
+# A bench whose own source changed since HEAD is reported informationally
+# but not gated — a bench that gained a column legitimately runs longer,
+# and flagging that as a perf regression would train authors to ignore the
+# gate (regenerate + commit the new baseline instead).
+compare_with_baseline() {
+  local name="$1" new_json="$2"
+  local out_name="BENCH_${name#bench_}.json"
+  local old_json
+  if ! old_json="$(git -C "$ROOT" show "HEAD:$out_name" 2>/dev/null)"; then
+    printf '   compare: no committed baseline for %s (new bench)\n' "$out_name"
+    return 0
+  fi
+  local gated=1
+  if ! git -C "$ROOT" diff --quiet HEAD -- "bench/$name.cpp" 2>/dev/null; then
+    gated=0
+    printf '   compare: bench/%s.cpp changed since HEAD — deltas are informational, not gated\n' \
+      "$name"
+  fi
+  local rows
+  if [[ "$name" == bench_micro_* ]]; then
+    rows="$(jq -rn '
+      (input | [.benchmarks[]? | {key: .name, value: .real_time}]
+             | from_entries) as $old
+      | (input | .benchmarks[]?)
+      | select($old[.name] != null and ($old[.name] > 0))
+      | [.name, $old[.name], .real_time,
+         ((.real_time / $old[.name] - 1) * 100)]
+      | @tsv' <(printf '%s' "$old_json") "$new_json" 2>/dev/null)"
+  else
+    rows="$(jq -rn '
+      (input | .seconds) as $old
+      | (input | .seconds) as $new
+      | select($old != null and $new != null and ($old > 0))
+      | ["seconds", $old, $new, (($new / $old - 1) * 100)]
+      | @tsv' <(printf '%s' "$old_json") "$new_json" 2>/dev/null)"
+  fi
+  if [ -z "$rows" ]; then
+    printf '   compare: no comparable metrics for %s\n' "$name"
+    return 0
+  fi
+  local bad
+  printf '%s\n' "$rows" | awk -F'\t' -v tol="$TOLERANCE" -v gated="$gated" '
+    {
+      flag = (gated && $4 > tol * 100) ? "  REGRESSION" : ""
+      printf "     %-44s %14.3f -> %14.3f  %+7.1f%%%s\n", $1, $2, $3, $4, flag
+    }'
+  bad="$(printf '%s\n' "$rows" | awk -F'\t' -v tol="$TOLERANCE" \
+    -v gated="$gated" 'gated && $4 > tol * 100 { n++ } END { print n+0 }')"
+  compare_failures=$((compare_failures + bad))
+  return 0
+}
 
 for bin in "$BUILD"/bench_*; do
   [ -x "$bin" ] || continue
@@ -51,6 +128,7 @@ for bin in "$BUILD"/bench_*; do
   if [[ "$name" == bench_micro_* ]]; then
     # Google Benchmark: native JSON straight to the collection file.
     if "$bin" --benchmark_format=json > "$tmp_json"; then
+      [ "$COMPARE" -eq 1 ] && compare_with_baseline "$name" "$tmp_json"
       mv "$tmp_json" "$out_json"
     else
       echo "   FAILED (exit $?)" >&2
@@ -68,6 +146,7 @@ for bin in "$BUILD"/bench_*; do
       --arg output "$output" \
       '{bench: $bench, exit_code: $exit_code, seconds: $seconds, output: $output}' \
       > "$tmp_json" && [ "$rc" -eq 0 ]; then
+      [ "$COMPARE" -eq 1 ] && compare_with_baseline "$name" "$tmp_json"
       mv "$tmp_json" "$out_json"
     else
       echo "   FAILED (exit $rc)" >&2
@@ -86,4 +165,8 @@ fi
 
 echo
 echo "ran $ran benches, $failures failed; results in $ROOT/BENCH_*.json"
-[ "$failures" -eq 0 ]
+if [ "$COMPARE" -eq 1 ]; then
+  echo "compare: $compare_failures metric(s) regressed beyond +$(awk \
+    -v t="$TOLERANCE" 'BEGIN { printf "%.0f", t * 100 }')% of the HEAD baseline"
+fi
+[ "$failures" -eq 0 ] && [ "$compare_failures" -eq 0 ]

@@ -230,6 +230,17 @@ double PipelinedClientSession::finish_time() {
   return now_;
 }
 
+std::vector<double> PipelinedClientSession::upload_completion_times() const {
+  PipelinedClientSession replay(timings_);
+  std::vector<double> times;
+  times.reserve(replay.num_chunks());
+  while (!replay.done()) {
+    const Event event = replay.advance();
+    if (event.kind == Event::Kind::kChunkUploaded) times.push_back(event.at);
+  }
+  return times;
+}
+
 PipelinedClientSession::Stage PipelinedClientSession::stage() const {
   if (!train_done_) return Stage::kTraining;
   if (serialized_ < num_chunks()) return Stage::kSerializing;

@@ -194,6 +194,14 @@ class PipelinedClientSession {
   /// latency (the last chunk's upload completion).
   double finish_time();
 
+  /// Per-chunk upload-arrival times under the overlapped schedule, in chunk
+  /// order (replays a copy; this session's event cursor is untouched).  The
+  /// last entry equals finish_time(), which is the instant the closed-loop
+  /// simulator schedules the report's arrival; the per-chunk entries are
+  /// the observable arrival schedule for analysis/tests (the simulator does
+  /// not yet schedule chunk-level server events).
+  std::vector<double> upload_completion_times() const;
+
   bool training_complete() const { return train_done_; }
   std::size_t chunks_serialized() const { return serialized_; }
   std::size_t chunks_uploaded() const { return uploaded_; }

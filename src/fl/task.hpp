@@ -71,6 +71,23 @@ struct TaskConfig {
   /// bit-identical behaviour AND metrics to the sequential runtime.
   bool pipelined_clients = false;
 
+  /// Closed-loop client scheduling: the pipelined runtime's completion
+  /// time becomes the *actual* upload-arrival event — the report lands when
+  /// the last chunk's upload finishes under the overlapped schedule
+  /// (PipelinedClientSession::finish_time), instead of at the open-loop
+  /// sequential charge (download + train + upload).  With the knob on,
+  /// aggregation-goal waits, SecAgg buffer flushes, and round cadence
+  /// respond to real client latency — updates arrive *earlier* when the
+  /// pipeline overlaps stages, so the simulated clock is honest about what
+  /// the protocol would actually observe.  Changes *when* updates
+  /// arrive, never *what* a client draws: requires per-entity RNG streams
+  /// (the simulator forces RngStreamMode::kPerEntity and
+  /// `pipelined_clients`), under which every device's draw sequence is
+  /// schedule-independent.  Default off = the observational open-loop model
+  /// (bit-identical trajectories to the pre-stream simulator from the same
+  /// seed).
+  bool closed_loop_clients = false;
+
   /// Whether updates travel through Asynchronous SecAgg.
   bool secagg_enabled = false;
 

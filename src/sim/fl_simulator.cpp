@@ -19,10 +19,23 @@ std::unique_ptr<ml::LanguageModel> build_model(ModelKind kind,
   throw std::logic_error("unknown model kind");
 }
 
+/// Closed-loop scheduling reacts to sampled quantities, which is only legal
+/// when draws are schedule-independent: force per-entity streams and the
+/// pipelined runtime (whose stage timings are the arrival process) before
+/// anything reads the config.
+SimulationConfig normalize_config(SimulationConfig cfg) {
+  if (cfg.task.closed_loop_clients) {
+    cfg.task.pipelined_clients = true;
+    cfg.rng_streams = RngStreamMode::kPerEntity;
+  }
+  return cfg;
+}
+
 }  // namespace
 
 FlSimulator::FlSimulator(SimulationConfig config)
-    : config_(std::move(config)), rng_(config_.seed ^ 0x51713ULL) {
+    : config_(normalize_config(std::move(config))),
+      streams_(config_.seed, config_.rng_streams) {
   corpus_ = std::make_unique<ml::FederatedCorpus>(config_.corpus, config_.seed);
   population_ = std::make_unique<DevicePopulation>(config_.population);
   network_ = std::make_unique<NetworkModel>(config_.network);
@@ -84,12 +97,14 @@ std::unique_ptr<ml::LanguageModel> FlSimulator::make_model_with_params(
   return model;
 }
 
-fl::Aggregator* FlSimulator::route_to_owner() {
-  fl::Selector& selector = *selectors_[rng_.uniform_int(selectors_.size())];
+fl::Aggregator* FlSimulator::route_to_owner(std::uint64_t entity) {
+  fl::Selector& selector = *selectors_[streams_.uniform_int(
+      entity, StreamPurpose::kRouting, selectors_.size())];
   auto agg_id = selector.route(config_.task.name);
   if (!agg_id) {
     // Stale-map miss: retry via another Selector after refresh (App. E.4).
-    fl::Selector& retry = *selectors_[rng_.uniform_int(selectors_.size())];
+    fl::Selector& retry = *selectors_[streams_.uniform_int(
+        entity, StreamPurpose::kRouting, selectors_.size())];
     retry.refresh(*coordinator_);
     agg_id = retry.route(config_.task.name);
   }
@@ -191,13 +206,16 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   DeviceState& state = devices_[device];
   if (state.participating) return;
 
-  const double backoff = rng_.exponential(1.0 / config_.mean_checkin_interval_s);
+  const double backoff = streams_.exponential(
+      device, StreamPurpose::kCheckInBackoff,
+      1.0 / config_.mean_checkin_interval_s);
 
   // Device-side eligibility (Sec. 4): idle / charging / unmetered modelled
   // as a Bernoulli availability draw per check-in, plus the participation-
   // history policy.
   fl::ClientRuntime& runtime = runtime_for(device);
-  runtime.conditions().idle = !rng_.bernoulli(config_.device_unavailable_prob);
+  runtime.conditions().idle = !streams_.bernoulli(
+      device, StreamPurpose::kAvailability, config_.device_unavailable_prob);
   if (!runtime.check_in_allowed(config_.eligibility, now)) {
     schedule_check_in(device, backoff);
     return;
@@ -214,7 +232,7 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
 
   // Route through a random Selector; on a stale-map miss, refresh and retry
   // through another Selector (App. E.4).
-  fl::Aggregator* aggregator = route_to_owner();
+  fl::Aggregator* aggregator = route_to_owner(device);
   if (aggregator == nullptr || aggregator->id() == failed_aggregator_) {
     coordinator_->assignment_concluded(assignment->task);
     schedule_check_in(device, backoff);
@@ -238,18 +256,27 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   state.upload_chunks = 0;
   const std::vector<float>& model = aggregator->model(assignment->task);
   state.model_snapshot.assign(model.begin(), model.end());
-  state.exec_time = population_->sample_exec_time(device, rng_);
+  state.exec_time =
+      streams_.with(device, StreamPurpose::kExecTime, [&](auto& rng) {
+        return population_->sample_exec_time(device, rng);
+      });
   ++result_.participations_started;
   ++active_count_;
   record_active(now);
   runtime_for(device).record_participation(now);
 
-  const double download = network_->download_time_s(model_bytes_, rng_);
+  const double download =
+      streams_.with(device, StreamPurpose::kDownloadJitter, [&](auto& rng) {
+        return network_->download_time_s(model_bytes_, rng);
+      });
   const std::uint64_t generation = state.generation;
 
-  if (rng_.bernoulli(profile.dropout_prob)) {
+  if (streams_.bernoulli(device, StreamPurpose::kDropout,
+                         profile.dropout_prob)) {
     // Mid-participation dropout at a uniform point in local training.
-    const double when = download + rng_.uniform() * state.exec_time;
+    const double when =
+        download +
+        streams_.uniform01(device, StreamPurpose::kDropout) * state.exec_time;
     if (config_.task.pipelined_clients) {
       // Busy until the dropout ends the participation.
       state.busy_open = true;
@@ -262,11 +289,27 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
     return;
   }
 
-  const double upload = network_->upload_time_s(model_bytes_, rng_);
+  const double upload =
+      streams_.with(device, StreamPurpose::kUploadJitter, [&](auto& rng) {
+        return network_->upload_time_s(model_bytes_, rng);
+      });
+  // Open loop: the report lands at the sequential stage-sum charge, and the
+  // pipelined plan (if any) is purely observational.  Closed loop: the plan
+  // *is* the arrival process — the report event moves to the last chunk's
+  // upload completion under the overlapped schedule (the pipelined
+  // finish_time computed by plan_pipeline), so goal waits and round cadence
+  // see the latency a pipelined fleet would actually deliver.  The report
+  // still arrives as one event; per-chunk arrival instants are observable
+  // via PipelinedClientSession::upload_completion_times but not scheduled
+  // as separate server events.
+  double completion_delay = download + state.exec_time + upload;
   if (config_.task.pipelined_clients) {
     plan_pipeline(device, download, upload);
+    if (config_.task.closed_loop_clients) {
+      completion_delay = state.pipelined_latency_s;
+    }
   }
-  queue_.schedule_in(download + state.exec_time + upload,
+  queue_.schedule_in(completion_delay,
                      [this, device, generation](double t) {
                        if (!stopped_) handle_completion(device, generation, t);
                      });
@@ -287,8 +330,9 @@ void FlSimulator::end_participation(std::size_t device, double now,
   --active_count_;
   record_active(now);
   if (reschedule && !stopped_) {
-    schedule_check_in(device,
-                      rng_.exponential(1.0 / config_.mean_checkin_interval_s));
+    schedule_check_in(
+        device, streams_.exponential(device, StreamPurpose::kCheckInBackoff,
+                                     1.0 / config_.mean_checkin_interval_s));
   }
 }
 
@@ -298,7 +342,7 @@ void FlSimulator::handle_dropout(std::size_t device, std::uint64_t generation,
   if (!state.participating || state.generation != generation) return;
 
   const DeviceProfile& profile = population_->device(device);
-  if (fl::Aggregator* owner = route_to_owner(); owner != nullptr) {
+  if (fl::Aggregator* owner = route_to_owner(device); owner != nullptr) {
     owner->client_failed(config_.task.name, profile.id, now);
   }
 
@@ -323,13 +367,15 @@ void FlSimulator::handle_completion(std::size_t device,
   fl::ClientRuntime& runtime = runtime_for(device);
 
   // Run the actual local training on the snapshot downloaded at join time.
-  util::Rng train_rng(config_.seed ^ (profile.id * 0x7f4a7c15ULL) ^
-                      state.generation);
+  // The shuffle stream is the kTraining purpose: a per-participation seed
+  // expanded through xoshiro (SGD consumes thousands of draws), already
+  // schedule-independent in both stream modes.
+  util::Rng train_rng(streams_.training_seed(profile.id, state.generation));
   const fl::LocalTrainingResult training =
       executor_->train(state.model_snapshot, state.version_at_join, profile.id,
                        runtime.store(), train_rng);
 
-  fl::Aggregator* owner = route_to_owner();
+  fl::Aggregator* owner = route_to_owner(device);
   if (owner == nullptr || owner->id() == failed_aggregator_) {
     // No live owner reachable (failover in progress): the upload is lost.
     end_participation(device, now, /*reschedule=*/true);
@@ -460,7 +506,7 @@ void FlSimulator::on_aborted_clients(const std::vector<std::uint64_t>& aborted,
 }
 
 void FlSimulator::maybe_evaluate(double now, bool force) {
-  fl::Aggregator* owner = route_to_owner();
+  fl::Aggregator* owner = route_to_owner(SimStreams::kServerEntity);
   if (owner == nullptr) return;
   fl::Aggregator& aggregator = *owner;
   const fl::TaskStats& stats = aggregator.stats(config_.task.name);
@@ -541,15 +587,17 @@ void FlSimulator::stop(double now) {
 SimulationResult FlSimulator::run() {
   // Stagger initial device check-ins across one check-in interval.
   for (std::size_t device = 0; device < devices_.size(); ++device) {
-    schedule_check_in(device,
-                      rng_.uniform(0.0, config_.mean_checkin_interval_s));
+    schedule_check_in(
+        device, streams_.uniform(device, StreamPurpose::kCheckInBackoff, 0.0,
+                                 config_.mean_checkin_interval_s));
   }
   queue_.schedule_in(config_.report_interval_s,
                      [this](double t) { handle_server_report_tick(t); });
   if (config_.aggregator_failure_at_s > 0.0) {
     queue_.schedule_at(config_.aggregator_failure_at_s, [this](double) {
       // The current owner crashes: it stops heartbeating and serving.
-      if (fl::Aggregator* owner = route_to_owner(); owner != nullptr) {
+      if (fl::Aggregator* owner = route_to_owner(SimStreams::kServerEntity);
+          owner != nullptr) {
         failed_aggregator_ = owner->id();
       }
     });
@@ -560,7 +608,7 @@ SimulationResult FlSimulator::run() {
 
   // Final bookkeeping.  After a failover, stats reflect the current owner
   // (counters on the crashed Aggregator died with it).
-  fl::Aggregator* owner = route_to_owner();
+  fl::Aggregator* owner = route_to_owner(SimStreams::kServerEntity);
   if (owner == nullptr) {
     for (auto& a : aggregators_) {
       if (a->has_task(config_.task.name)) owner = a.get();

@@ -35,6 +35,7 @@
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 #include "sim/population.hpp"
+#include "sim/streams.hpp"
 
 namespace papaya::sim {
 
@@ -85,6 +86,16 @@ struct SimulationConfig {
   std::size_t num_aggregators = 1;
   std::size_t num_selectors = 2;
   std::uint64_t seed = 1;
+
+  /// How participation-path randomness is addressed (sim/streams.hpp).
+  /// kSharedLegacy (default) consumes one shared xoshiro in event order —
+  /// bit-identical to the pre-stream simulator from the same seed.
+  /// kPerEntity keys every draw by (seed, device, purpose, draw index), so
+  /// draw values are independent of the event schedule; it changes draw
+  /// values (not distributions) relative to legacy mode, and it is forced
+  /// on by `task.closed_loop_clients`, whose reactive schedule is only
+  /// legal over schedule-independent streams.
+  RngStreamMode rng_streams = RngStreamMode::kSharedLegacy;
 
   /// Failure injection (App. E.4): if > 0, the Aggregator owning the task
   /// stops heartbeating at this sim time; the Coordinator must detect the
@@ -167,8 +178,9 @@ class FlSimulator {
   void handle_check_in(std::size_t device, double now);
   /// The Aggregator currently owning the task, routed through a Selector's
   /// cached map exactly as a client request would be (nullptr on a stale
-  /// routing miss).
-  fl::Aggregator* route_to_owner();
+  /// routing miss).  `entity` keys the Selector-choice draw: the device on
+  /// client paths, SimStreams::kServerEntity on server-side paths.
+  fl::Aggregator* route_to_owner(std::uint64_t entity);
   void handle_completion(std::size_t device, std::uint64_t generation,
                          double now);
   void handle_dropout(std::size_t device, std::uint64_t generation, double now);
@@ -189,7 +201,7 @@ class FlSimulator {
   fl::ClientRuntime& runtime_for(std::size_t device);
 
   SimulationConfig config_;
-  util::Rng rng_;
+  SimStreams streams_;
   EventQueue queue_;
 
   std::unique_ptr<ml::FederatedCorpus> corpus_;

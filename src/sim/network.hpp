@@ -6,9 +6,15 @@
 // round-trip latency; it shifts absolute times without changing the
 // sync-vs-async comparison, and it gives the "communication trips"
 // accounting a concrete byte volume.
+//
+// The jitter draw is generic over the generator (util::Rng or a
+// util::StreamRng handed out by sim::SimStreams), so the simulator can key
+// each participation's bandwidth draw to its device instead of a shared
+// sequence — see src/sim/streams.hpp.
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -30,14 +36,27 @@ struct NetworkConfig {
 
 class NetworkModel {
  public:
-  explicit NetworkModel(NetworkConfig config) : config_(config) {}
+  explicit NetworkModel(NetworkConfig config) : config_(config) {
+    // A nonpositive bandwidth would divide transfer_time through to an
+    // infinite/negative duration and silently wedge the event schedule;
+    // reject it at construction, where the bad config is still attributable.
+    if (config_.mean_download_mbps <= 0.0 || config_.mean_upload_mbps <= 0.0 ||
+        config_.serialize_mbps <= 0.0) {
+      throw std::invalid_argument("NetworkModel: bandwidths must be > 0 Mbps");
+    }
+    if (config_.rtt_s < 0.0) {
+      throw std::invalid_argument("NetworkModel: negative RTT");
+    }
+  }
 
   /// Time to download `bytes` for a device with slowness jitter from `rng`.
-  double download_time_s(std::uint64_t bytes, util::Rng& rng) const {
+  template <class RngT>
+  double download_time_s(std::uint64_t bytes, RngT& rng) const {
     return transfer_time(bytes, config_.mean_download_mbps, rng);
   }
 
-  double upload_time_s(std::uint64_t bytes, util::Rng& rng) const {
+  template <class RngT>
+  double upload_time_s(std::uint64_t bytes, RngT& rng) const {
     return transfer_time(bytes, config_.mean_upload_mbps, rng);
   }
 
@@ -73,8 +92,13 @@ class NetworkModel {
   const NetworkConfig& config() const { return config_; }
 
  private:
+  template <class RngT>
   double transfer_time(std::uint64_t bytes, double mean_mbps,
-                       util::Rng& rng) const {
+                       RngT& rng) const {
+    // A zero-byte transfer opens no connection: it costs nothing, and it
+    // must not consume a jitter draw (draw budgets are per-participation
+    // invariants in per-entity stream mode).
+    if (bytes == 0) return 0.0;
     const double mbps = mean_mbps * rng.lognormal(0.0, config_.bandwidth_sigma);
     const double seconds =
         static_cast<double>(bytes) * 8.0 / (mbps * 1e6) + config_.rtt_s;

@@ -21,6 +21,10 @@ DevicePopulation::DevicePopulation(const PopulationConfig& config)
   if (config.min_examples > config.max_examples) {
     throw std::invalid_argument("DevicePopulation: bad example range");
   }
+  // Profile synthesis runs once, at t = 0, in device-index order — the draw
+  // order is fixed by construction, so it stays on a sequential generator
+  // (the per-entity stream discipline of sim/streams.hpp is for draws whose
+  // timing the event schedule controls).
   util::Rng rng(config.seed ^ 0xd011ceULL);
   devices_.reserve(config.num_devices);
   const double rho =
@@ -51,11 +55,6 @@ DevicePopulation::DevicePopulation(const PopulationConfig& config)
     d.dropout_prob = config.dropout_prob;
     devices_.push_back(std::move(d));
   }
-}
-
-double DevicePopulation::sample_exec_time(std::size_t i, util::Rng& rng) const {
-  const DeviceProfile& d = devices_.at(i);
-  return d.mean_exec_time_s * rng.lognormal(0.0, config_.jitter_sigma);
 }
 
 }  // namespace papaya::sim

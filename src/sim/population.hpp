@@ -63,8 +63,14 @@ class DevicePopulation {
   const DeviceProfile& device(std::size_t i) const { return devices_.at(i); }
   const std::vector<DeviceProfile>& devices() const { return devices_; }
 
-  /// Sample the execution time of one participation of device `i`.
-  double sample_exec_time(std::size_t i, util::Rng& rng) const;
+  /// Sample the execution time of one participation of device `i`.  Generic
+  /// over the generator so the simulator can draw from the device's own
+  /// exec-time stream (sim/streams.hpp) instead of a shared sequence.
+  template <class RngT>
+  double sample_exec_time(std::size_t i, RngT& rng) const {
+    const DeviceProfile& d = devices_.at(i);
+    return d.mean_exec_time_s * rng.lognormal(0.0, config_.jitter_sigma);
+  }
 
   const PopulationConfig& config() const { return config_; }
 

@@ -1,0 +1,126 @@
+#pragma once
+// Hierarchical RNG streams for the simulator: who draws what, addressed as
+// (root seed, entity, purpose, draw index).
+//
+// The simulator historically drew every stochastic quantity from one shared
+// xoshiro in event-schedule order.  That is deterministic, but it welds the
+// random draws to the schedule: any change in *when* events run (e.g. a
+// closed-loop schedule reacting to client completion times) shifts every
+// downstream draw and destroys trajectory comparability.  SimStreams breaks
+// the weld: in per-entity mode each (entity, purpose) pair owns a
+// counter-based util::StreamRng whose i-th draw is a pure function of
+// (root_seed, entity, purpose, i) — draw values are independent of event
+// interleaving, so the schedule may legally react to them.
+//
+// Migration shim: kSharedLegacy mode routes every request, whatever its
+// (entity, purpose) label, to the one shared xoshiro in call order — the
+// pre-stream behaviour, bit for bit (equivalence goldens in
+// tests/sim_test.cpp).  It remains the default so existing seeds reproduce
+// existing trajectories; closed-loop scheduling requires (and forces)
+// per-entity streams.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace papaya::sim {
+
+/// What a draw is *for*.  Every stochastic quantity on the simulator's
+/// participation path names one of these; adding a draw site means adding a
+/// purpose (never reusing one — reuse would alias two sites' streams).
+enum class StreamPurpose : std::uint64_t {
+  kCheckInBackoff = 1,  ///< initial stagger + inter-check-in exponential
+  kAvailability = 2,    ///< idle/charging/unmetered Bernoulli per check-in
+  kExecTime = 3,        ///< per-participation execution-time jitter
+  kDownloadJitter = 4,  ///< per-participation download bandwidth draw
+  kUploadJitter = 5,    ///< per-participation upload bandwidth draw
+  kDropout = 6,         ///< dropout Bernoulli + mid-training dropout point
+  kTraining = 7,        ///< local-SGD shuffle stream (seed derivation)
+  kRouting = 8,         ///< Selector choice when routing to the task owner
+};
+
+enum class RngStreamMode {
+  /// One shared xoshiro consumed in call order (pre-stream behaviour,
+  /// bit-identical; draw values depend on the event schedule).
+  kSharedLegacy,
+  /// Counter-based per-(entity, purpose) streams (schedule-independent
+  /// draws; required by closed-loop scheduling).
+  kPerEntity,
+};
+
+class SimStreams {
+ public:
+  /// Entity id for server-side draws with no client attached (final-report
+  /// routing, evaluation routing, failure injection).
+  static constexpr std::uint64_t kServerEntity = ~0ULL;
+
+  SimStreams(std::uint64_t root_seed, RngStreamMode mode)
+      : mode_(mode), root_(root_seed), shared_(root_seed ^ 0x51713ULL) {}
+
+  RngStreamMode mode() const { return mode_; }
+  bool per_entity() const { return mode_ == RngStreamMode::kPerEntity; }
+
+  /// Run `fn` with the generator for (entity, purpose): the dedicated
+  /// stream in per-entity mode, the shared legacy xoshiro otherwise.  `fn`
+  /// must be callable with any RngDistributions-derived generator.
+  template <class Fn>
+  auto with(std::uint64_t entity, StreamPurpose purpose, Fn&& fn)
+      -> decltype(fn(std::declval<util::Rng&>())) {
+    if (mode_ == RngStreamMode::kPerEntity) {
+      return fn(stream(entity, purpose));
+    }
+    return fn(shared_);
+  }
+
+  double uniform(std::uint64_t entity, StreamPurpose p, double lo, double hi) {
+    return with(entity, p, [&](auto& g) { return g.uniform(lo, hi); });
+  }
+  double uniform01(std::uint64_t entity, StreamPurpose p) {
+    return with(entity, p, [&](auto& g) { return g.uniform(); });
+  }
+  double exponential(std::uint64_t entity, StreamPurpose p, double lambda) {
+    return with(entity, p, [&](auto& g) { return g.exponential(lambda); });
+  }
+  bool bernoulli(std::uint64_t entity, StreamPurpose p, double prob) {
+    return with(entity, p, [&](auto& g) { return g.bernoulli(prob); });
+  }
+  std::uint64_t uniform_int(std::uint64_t entity, StreamPurpose p,
+                            std::uint64_t n) {
+    return with(entity, p, [&](auto& g) { return g.uniform_int(n); });
+  }
+
+  /// Seed for a client's local-training Rng (the kTraining purpose).  Local
+  /// SGD consumes thousands of draws, so it expands a per-participation seed
+  /// through xoshiro rather than hashing per draw; the seed itself is
+  /// schedule-independent in both modes (it never touches the shared
+  /// sequence — the pre-stream code already derived it this way).
+  std::uint64_t training_seed(std::uint64_t client_id,
+                              std::uint64_t generation) const {
+    if (mode_ == RngStreamMode::kPerEntity) {
+      return util::StreamRng::derive_key(
+                 root_, client_id,
+                 static_cast<std::uint64_t>(StreamPurpose::kTraining)) ^
+             generation;
+    }
+    // Legacy formula, kept bit-compatible.
+    return root_ ^ (client_id * 0x7f4a7c15ULL) ^ generation;
+  }
+
+  /// The dedicated stream for (entity, purpose).  Per-entity mode only;
+  /// lazily materialized, so idle entities cost nothing.
+  util::StreamRng& stream(std::uint64_t entity, StreamPurpose purpose) {
+    const std::uint64_t key = util::StreamRng::derive_key(
+        root_, entity, static_cast<std::uint64_t>(purpose));
+    auto [it, inserted] = streams_.try_emplace(key, util::StreamRng(key));
+    return it->second;
+  }
+
+ private:
+  RngStreamMode mode_;
+  std::uint64_t root_;
+  util::Rng shared_;
+  std::unordered_map<std::uint64_t, util::StreamRng> streams_;
+};
+
+}  // namespace papaya::sim

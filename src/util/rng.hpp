@@ -1,10 +1,18 @@
 #pragma once
 // Deterministic pseudo-random number generation for simulation.
 //
-// All stochastic behaviour in the simulator and in tests flows through
-// SplitMix64-seeded xoshiro256** instances so that every experiment is
-// reproducible from a single 64-bit seed.  (Cryptographic randomness lives in
-// src/crypto/chacha20.hpp, not here.)
+// Two generator families, one distribution layer:
+//  - Rng: SplitMix64-seeded xoshiro256** — fast sequential generation for
+//    draws whose order is fixed by construction (corpus synthesis, model
+//    init, local training).
+//  - StreamRng: a counter-based SplitMix64 stream addressed by a
+//    hierarchically derived key (root seed -> entity -> purpose).  The i-th
+//    draw of a stream is a pure function of (key, i), so draws are
+//    independent of *when* the simulator asks for them — the property the
+//    closed-loop scheduler needs (sim/streams.hpp).
+//
+// Every experiment is reproducible from a single 64-bit seed.
+// (Cryptographic randomness lives in src/crypto/chacha20.hpp, not here.)
 
 #include <cstdint>
 #include <cmath>
@@ -15,7 +23,8 @@ namespace papaya::util {
 
 /// One SplitMix64 step as a stateless 64-bit mixer: gamma increment plus
 /// finalizer.  The single definition behind SplitMix64 streams, session
-/// tokens, and the aggregation shard ring's placement hash.
+/// tokens, the aggregation shard ring's placement hash, and StreamRng's
+/// hierarchical key derivation.
 inline std::uint64_t splitmix64_hash(std::uint64_t x) {
   std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -40,41 +49,16 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
-/// xoshiro256**: fast, high-quality general-purpose PRNG
-/// (Blackman & Vigna, 2018).  Satisfies UniformRandomBitGenerator.
-class Rng {
+/// Distribution layer shared by every generator type (CRTP: `Derived` must
+/// expose `std::uint64_t next()`).  One definition means Rng and StreamRng
+/// produce identical values from identical raw 64-bit draws — the stream
+/// refactor changes *where* bits come from, never the distribution math.
+template <class Derived>
+class RngDistributions {
  public:
-  using result_type = std::uint64_t;
-
-  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
-
-  void reseed(std::uint64_t seed) {
-    SplitMix64 sm(seed);
-    for (auto& s : s_) s = sm.next();
-  }
-
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() {
-    return std::numeric_limits<std::uint64_t>::max();
-  }
-
-  result_type operator()() { return next(); }
-
-  std::uint64_t next() {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-  }
-
   /// Uniform double in [0, 1).
   double uniform() {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(self().next() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform double in [lo, hi).
@@ -83,13 +67,13 @@ class Rng {
   /// Uniform integer in [0, n).  n must be > 0.
   std::uint64_t uniform_int(std::uint64_t n) {
     // Lemire's nearly-divisionless bounded sampling.
-    std::uint64_t x = next();
+    std::uint64_t x = self().next();
     __uint128_t m = static_cast<__uint128_t>(x) * n;
     auto lo = static_cast<std::uint64_t>(m);
     if (lo < n) {
       const std::uint64_t threshold = (0 - n) % n;
       while (lo < threshold) {
-        x = next();
+        x = self().next();
         m = static_cast<__uint128_t>(x) * n;
         lo = static_cast<std::uint64_t>(m);
       }
@@ -126,6 +110,42 @@ class Rng {
     return -std::log(u) / lambda;
   }
 
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// xoshiro256**: fast, high-quality general-purpose PRNG
+/// (Blackman & Vigna, 2018).  Satisfies UniformRandomBitGenerator.
+class Rng : public RngDistributions<Rng> {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
   /// Derive an independent child generator (for per-entity streams).
   Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
 
@@ -135,6 +155,63 @@ class Rng {
   }
 
   std::uint64_t s_[4]{};
+};
+
+/// Counter-based SplitMix64 stream addressed by a hierarchical key
+///
+///   key = H(H(H(root_seed) ^ entity_id) ^ purpose)     (H = splitmix64_hash)
+///   draw i = H(key + gamma * i)
+///
+/// i.e. the stream *is* SplitMix64 started at `key`, but with the counter
+/// held explicitly so the i-th draw is a pure function of
+/// (root_seed, entity_id, purpose, i).  Two consequences the simulator
+/// leans on (sim/streams.hpp):
+///  - draws never depend on the interleaving of other entities' draws, so
+///    an event schedule may legally *react* to sampled quantities
+///    (closed-loop mode) without perturbing any other stream;
+///  - a stream can be reconstructed anywhere from its key and draw index
+///    (seek()), which makes trajectories auditable draw by draw.
+class StreamRng : public RngDistributions<StreamRng> {
+ public:
+  using result_type = std::uint64_t;
+
+  StreamRng() = default;
+  /// Stream over a pre-derived key (advanced use; prefer the 3-arg form).
+  explicit StreamRng(std::uint64_t key) : key_(key) {}
+  StreamRng(std::uint64_t root_seed, std::uint64_t entity_id,
+            std::uint64_t purpose)
+      : key_(derive_key(root_seed, entity_id, purpose)) {}
+
+  /// The hierarchical key derivation: root -> entity -> purpose.  Each level
+  /// is one splitmix64_hash application, so sibling streams (same root,
+  /// different entity or purpose) are decorrelated by the full 64-bit mixer.
+  static std::uint64_t derive_key(std::uint64_t root_seed,
+                                  std::uint64_t entity_id,
+                                  std::uint64_t purpose) {
+    return splitmix64_hash(
+        splitmix64_hash(splitmix64_hash(root_seed) ^ entity_id) ^ purpose);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    return splitmix64_hash(key_ + 0x9e3779b97f4a7c15ULL * draw_index_++);
+  }
+
+  std::uint64_t key() const { return key_; }
+  /// Number of raw 64-bit draws consumed so far (== the next draw's index).
+  std::uint64_t draw_index() const { return draw_index_; }
+  /// Random access: position the stream so the next raw draw is draw `i`.
+  void seek(std::uint64_t i) { draw_index_ = i; }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t draw_index_ = 0;
 };
 
 /// Zipf(s) sampler over {0, ..., n-1} by inverse-CDF table.  Used for the

@@ -83,6 +83,62 @@ TEST(EventQueue, SchedulingInThePastThrows) {
   q.schedule_at(5.0, [](double) {});
   q.step();
   EXPECT_THROW(q.schedule_at(1.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [](double) {}), std::invalid_argument);
+}
+
+TEST(EventQueue, FifoHoldsWhenSimultaneousEventsScheduleMore) {
+  // The closed-loop determinism story leans on the seq tie-break: an event
+  // that schedules another event at the *same* timestamp must see it run
+  // after every already-queued event at that timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&](double now) {
+    order.push_back(0);
+    q.schedule_at(now, [&](double) { order.push_back(2); });
+  });
+  q.schedule_at(1.0, [&](double) { order.push_back(1); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, ScheduleAtNowIsLegalAndRunsThisInstant) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(2.0, [&](double now) {
+    q.schedule_at(now, [&](double) { ++ran; });  // not "the past"
+  });
+  while (q.step()) {
+  }
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, RunUntilWithStopAlreadyTrueRunsNothing) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&](double) { ++ran; });
+  q.run_until(10.0, [] { return true; });
+  EXPECT_EQ(ran, 0);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // a stopped clock does not jump ahead
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopMidwayLeavesClockAtLastEvent) {
+  EventQueue q;
+  bool stop = false;
+  q.schedule_at(1.0, [&](double) { stop = true; });
+  q.schedule_at(5.0, [](double) {});
+  q.run_until(10.0, [&] { return stop; });
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueAdvancesToDeadline) {
+  EventQueue q;
+  q.run_until(7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+  EXPECT_TRUE(q.empty());
 }
 
 // -------------------------------------------------------------- Population --
@@ -190,6 +246,48 @@ TEST(Network, IncludesRtt) {
   NetworkModel net(cfg);
   util::Rng rng(11);
   EXPECT_GE(net.download_time_s(1, rng), 2.0);
+}
+
+TEST(Network, ZeroByteTransfersAreFreeAndDrawless) {
+  NetworkModel net({});
+  util::Rng rng(12);
+  EXPECT_DOUBLE_EQ(net.download_time_s(0, rng), 0.0);
+  EXPECT_DOUBLE_EQ(net.upload_time_s(0, rng), 0.0);
+  // No jitter draw was consumed by either zero-byte transfer: the next raw
+  // draw is still the seed's first (draw budgets are per-participation
+  // invariants in per-entity stream mode).
+  util::Rng untouched(12);
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(Network, NonpositiveBandwidthIsRejectedAtConstruction) {
+  NetworkConfig cfg;
+  cfg.mean_download_mbps = 0.0;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.mean_upload_mbps = -1.0;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.serialize_mbps = 0.0;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.rtt_s = -0.1;
+  EXPECT_THROW(NetworkModel{cfg}, std::invalid_argument);
+}
+
+TEST(Network, StreamRngJitterMatchesSharedRngBitForBit) {
+  // The jitter draw is generic over the generator: the same raw 64-bit
+  // draws produce the same transfer time whichever generator supplies them
+  // (the distribution layer is shared — util::RngDistributions).
+  NetworkModel net({});
+  util::Rng xoshiro(3);
+  util::Rng xoshiro_replay(3);
+  EXPECT_DOUBLE_EQ(net.download_time_s(1 << 20, xoshiro),
+                   net.download_time_s(1 << 20, xoshiro_replay));
+  util::StreamRng stream(3, 1, 1);
+  util::StreamRng stream_replay(3, 1, 1);
+  EXPECT_DOUBLE_EQ(net.upload_time_s(1 << 20, stream),
+                   net.upload_time_s(1 << 20, stream_replay));
 }
 
 // ----------------------------------------------------------------- Metrics --
@@ -403,6 +501,89 @@ TEST(Simulator, BusySeriesOnlyRecordedWhenPipelined) {
   const auto result = simulator.run();
   EXPECT_GT(result.active_clients.size(), 0u);
   EXPECT_EQ(result.busy_clients.size(), 0u);
+}
+
+// ------------------------------------------------- RNG stream equivalence --
+
+std::uint64_t fnv1a_floats(const std::vector<float>& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t i = 0; i < data.size() * sizeof(float); ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double exec_time_sum(const SimulationResult& r) {
+  double sum = 0.0;
+  for (const auto& p : r.participations) sum += p.exec_time_s;
+  return sum;
+}
+
+TEST(Simulator, LegacyStreamsReproducePreRefactorTrajectoryBitForBit) {
+  // The acceptance bar for the stream refactor: with the default
+  // kSharedLegacy mode, the simulator must reproduce the trajectories the
+  // pre-stream code produced — these constants are a fingerprint captured
+  // from the shared-rng_ simulator (commit 1808681) running exactly this
+  // config.  If this test fails, the migration shim no longer maps the old
+  // draw sites onto the shared sequence in the legacy order.
+  SimulationConfig cfg = store_config();  // async, seed 5, 20 steps
+  FlSimulator simulator(cfg);
+  const auto r = simulator.run();
+  EXPECT_DOUBLE_EQ(r.end_time_s, 190.59219085447933);
+  EXPECT_EQ(r.server_steps, 20u);
+  EXPECT_EQ(r.comm_trips, 40u);
+  EXPECT_EQ(r.participations_started, 54u);
+  EXPECT_DOUBLE_EQ(r.final_eval_loss, 3.4466637699270413);
+  ASSERT_EQ(r.participations.size(), 43u);
+  EXPECT_DOUBLE_EQ(exec_time_sum(r), 1510.9047466958796);
+  EXPECT_EQ(fnv1a_floats(r.final_model), 0xa12a2ff541ae1f54ULL);
+}
+
+TEST(Simulator, LegacyStreamsReproducePreRefactorSyncTrajectory) {
+  // Same fingerprint discipline for the SyncFL path (cohort semantics hit
+  // the same draw sites in a different schedule).
+  SimulationConfig cfg = store_config();
+  cfg.task.mode = fl::TrainingMode::kSync;
+  cfg.task.concurrency = 13;
+  cfg.task.aggregation_goal = 10;
+  cfg.max_server_steps = 6;
+  cfg.seed = 9;
+  FlSimulator simulator(cfg);
+  const auto r = simulator.run();
+  EXPECT_DOUBLE_EQ(r.end_time_s, 599.93502974803403);
+  EXPECT_EQ(r.server_steps, 6u);
+  EXPECT_EQ(r.comm_trips, 60u);
+  EXPECT_EQ(r.participations_started, 79u);
+  EXPECT_DOUBLE_EQ(r.final_eval_loss, 3.4564896490925139);
+  ASSERT_EQ(r.participations.size(), 79u);
+  EXPECT_DOUBLE_EQ(exec_time_sum(r), 6024.8335555918538);
+  EXPECT_EQ(fnv1a_floats(r.final_model), 0x649e6f135070e30eULL);
+}
+
+TEST(Simulator, PerEntityStreamsKeepDistributionShapeNotDrawValues) {
+  // Per-entity mode redraws every stochastic quantity from entity-keyed
+  // streams: trajectories legitimately differ from legacy mode in values
+  // but must stay statistically comparable (same config reaches the same
+  // step count with a similar amount of work).
+  SimulationConfig cfg = store_config();
+  FlSimulator legacy(cfg);
+  cfg.rng_streams = RngStreamMode::kPerEntity;
+  FlSimulator per_entity(cfg);
+  const auto a = legacy.run();
+  const auto b = per_entity.run();
+  EXPECT_EQ(a.server_steps, b.server_steps);
+  EXPECT_EQ(a.task_stats.updates_applied, b.task_stats.updates_applied);
+  EXPECT_NE(a.final_model, b.final_model);  // different draws, same law
+  EXPECT_GT(b.participations_started, 0u);
+  // Mean exec times within the same order of magnitude (log-normal fleet).
+  const double mean_a =
+      exec_time_sum(a) / static_cast<double>(a.participations.size());
+  const double mean_b =
+      exec_time_sum(b) / static_cast<double>(b.participations.size());
+  EXPECT_GT(mean_b, mean_a / 3.0);
+  EXPECT_LT(mean_b, mean_a * 3.0);
 }
 
 TEST(Simulator, BatchedPlaintextDrainMatchesPerUpdateDrain) {
