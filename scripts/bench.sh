@@ -78,13 +78,20 @@ compare_with_baseline() {
   fi
   local rows
   if [[ "$name" == bench_micro_* ]]; then
+    # Metrics present only in the fresh run (a bench that gained a strategy
+    # sweep or a new arg) are reported as NEW and never gated: there is no
+    # baseline to regress against, and erroring on them would block the very
+    # commit that introduces the column.
     rows="$(jq -rn '
       (input | [.benchmarks[]? | {key: .name, value: .real_time}]
              | from_entries) as $old
       | (input | .benchmarks[]?)
-      | select($old[.name] != null and ($old[.name] > 0))
-      | [.name, $old[.name], .real_time,
-         ((.real_time / $old[.name] - 1) * 100)]
+      | if $old[.name] != null and ($old[.name] > 0) then
+          [.name, $old[.name], .real_time,
+           ((.real_time / $old[.name] - 1) * 100)]
+        else
+          [.name, "new", .real_time, "new"]
+        end
       | @tsv' <(printf '%s' "$old_json") "$new_json" 2>/dev/null)"
   else
     rows="$(jq -rn '
@@ -100,12 +107,16 @@ compare_with_baseline() {
   fi
   local bad
   printf '%s\n' "$rows" | awk -F'\t' -v tol="$TOLERANCE" -v gated="$gated" '
+    $2 == "new" {
+      printf "     %-44s %14s -> %14.3f  NEW (informational)\n", $1, "-", $3
+      next
+    }
     {
       flag = (gated && $4 > tol * 100) ? "  REGRESSION" : ""
       printf "     %-44s %14.3f -> %14.3f  %+7.1f%%%s\n", $1, $2, $3, $4, flag
     }'
   bad="$(printf '%s\n' "$rows" | awk -F'\t' -v tol="$TOLERANCE" \
-    -v gated="$gated" 'gated && $4 > tol * 100 { n++ } END { print n+0 }')"
+    -v gated="$gated" '$2 != "new" && gated && $4 > tol * 100 { n++ } END { print n+0 }')"
   compare_failures=$((compare_failures + bad))
   return 0
 }

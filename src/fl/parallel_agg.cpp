@@ -3,28 +3,55 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "fl/model_update.hpp"
-#include "ml/math.hpp"
-
 namespace papaya::fl {
+
+std::size_t ParallelAggregator::strategy_index(AggStrategy s) {
+  switch (s) {
+    case AggStrategy::kLocked:
+      return 0;
+    case AggStrategy::kMorsel:
+      return 1;
+    case AggStrategy::kStriped:
+      return 2;
+    case AggStrategy::kAuto:
+      break;
+  }
+  // kAuto resolves to the locked baseline until the first stats window.
+  return 0;
+}
 
 ParallelAggregator::ParallelAggregator(std::size_t model_size,
                                        std::size_t num_threads,
                                        std::size_t num_intermediates,
                                        float clip_norm,
-                                       std::size_t drain_batch)
+                                       std::size_t drain_batch,
+                                       AggStrategy strategy,
+                                       const AggTuning& tuning)
     : model_size_(model_size),
-      clip_norm_(clip_norm),
-      drain_batch_(drain_batch == 0 ? 1 : drain_batch),
-      intermediates_(num_intermediates == 0 ? 1 : num_intermediates),
-      intermediate_locks_(intermediates_.size()) {
+      tuning_(tuning),
+      configured_(strategy),
+      active_(strategy_index(strategy)) {
   if (model_size == 0) {
     throw std::invalid_argument("ParallelAggregator: model_size must be > 0");
   }
-  for (auto& inter : intermediates_) {
-    inter.weighted_delta.assign(model_size_, 0.0f);
+  if (!valid_agg_strategy(strategy)) {
+    throw std::invalid_argument("ParallelAggregator: unknown strategy");
   }
   const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  StrategyContext context;
+  context.model_size = model_size_;
+  context.num_workers = n;
+  context.num_partitions = num_intermediates == 0 ? 1 : num_intermediates;
+  context.clip_norm = clip_norm;
+  context.tuning = tuning_;
+  context.stats = &stats_;
+  // All three backends live for the pool's lifetime so mid-stream switches
+  // never migrate accumulator state; the locked baseline pre-allocates its
+  // intermediates (as the pre-strategy pool did), the others are lazy.
+  strategies_[0] = make_fold_strategy(AggStrategy::kLocked, context);
+  strategies_[1] = make_fold_strategy(AggStrategy::kMorsel, context);
+  strategies_[2] = make_fold_strategy(AggStrategy::kStriped, context);
+  drain_batch_ = drain_batch == 0 ? 1 : drain_batch;
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -41,28 +68,42 @@ ParallelAggregator::~ParallelAggregator() {
 }
 
 void ParallelAggregator::enqueue(util::Bytes serialized_update, double weight) {
+  const std::size_t bytes = serialized_update.size();
   {
     std::lock_guard lock(queue_mutex_);
-    queue_.emplace_back(std::move(serialized_update), weight);
+    queue_.push_back(QueuedUpdate{std::move(serialized_update), weight});
+    // Recorded under the queue lock so a worker that observes the queued
+    // update also observes its stats: the adaptive picker then always sees
+    // a non-empty window before the first fold, making kAuto's strategy
+    // choice deterministic for single-worker pools (no update ever folds
+    // under the startup backend by racing the counter).
+    stats_.on_enqueue(bytes, queue_.size());
   }
   queue_cv_.notify_one();
 }
 
-void ParallelAggregator::worker_loop(std::size_t worker_index) {
-  // Each worker owns a fixed intermediate aggregate (Sec. 6.3's
-  // lock-contention trick).  The paper hashes the aggregating thread's id;
-  // hashing std::thread::id made workers collide onto one slot in practice,
-  // so the pool indexes workers instead — same idea, deterministic spread.
-  const std::size_t slot =
-      intermediate_slot(worker_index, intermediates_.size());
+void ParallelAggregator::force_strategy(AggStrategy strategy) {
+  if (!valid_agg_strategy(strategy)) {
+    throw std::invalid_argument("ParallelAggregator: unknown strategy");
+  }
+  configured_.store(strategy, std::memory_order_relaxed);
+  if (strategy != AggStrategy::kAuto) {
+    active_.store(strategy_index(strategy), std::memory_order_relaxed);
+  }
+}
 
-  std::vector<std::pair<util::Bytes, double>> run;
+AggStrategy ParallelAggregator::active_strategy() const {
+  return strategies_[active_.load(std::memory_order_relaxed)]->kind();
+}
+
+void ParallelAggregator::worker_loop(std::size_t worker_index) {
+  std::vector<QueuedUpdate> run;
   run.reserve(drain_batch_);
   for (;;) {
     // Drain up to drain_batch_ queued updates in one queue-lock acquisition
     // (TaskConfig::aggregation_batch_size).  The run is folded in FIFO order
-    // into this worker's own slot, so batching changes only lock traffic,
-    // not which folds happen or their per-slot order.
+    // by one worker, so batching changes only lock traffic, not which folds
+    // happen or their per-accumulator order.
     run.clear();
     {
       std::unique_lock lock(queue_mutex_);
@@ -78,28 +119,23 @@ void ParallelAggregator::worker_loop(std::size_t worker_index) {
       inflight_ += take;
     }
 
-    // Deserialize and clip outside any lock; a malformed update must not
-    // poison the aggregate, so it simply drops out of the run.
-    std::vector<std::pair<ModelUpdate, double>> folds;
-    folds.reserve(run.size());
-    for (auto& [bytes, weight] : run) {
-      ModelUpdate update = ModelUpdate::deserialize(bytes);
-      if (update.delta.size() != model_size_) continue;
-      if (clip_norm_ > 0.0f) ml::clip_norm(update.delta, clip_norm_);
-      folds.emplace_back(std::move(update), weight);
-    }
-    if (!folds.empty()) {
-      std::lock_guard inter_lock(intermediate_locks_[slot]);
-      Intermediate& inter = intermediates_[slot];
-      for (const auto& [update, weight] : folds) {
-        const float w = static_cast<float>(weight);
-        for (std::size_t i = 0; i < model_size_; ++i) {
-          inter.weighted_delta[i] += w * update.delta[i];
-        }
-        inter.weight_sum += weight;
-        ++inter.count;
+    // Adaptive re-decision per drained run (Snippet-2 discipline): a cheap
+    // relaxed read of the stats window; forced modes skip the picker.  The
+    // worker folds this whole run under whichever backend it loads here —
+    // a concurrent switch affects later runs, and the reduce merges every
+    // touched backend, so no update is lost across a switch.
+    if (configured_.load(std::memory_order_relaxed) == AggStrategy::kAuto) {
+      const std::size_t current = active_.load(std::memory_order_relaxed);
+      const AggStrategy next = decide_strategy(
+          stats_.windowed(), strategies_[current]->kind(), tuning_,
+          workers_.size());
+      if (strategy_index(next) != current) {
+        active_.store(strategy_index(next), std::memory_order_relaxed);
       }
     }
+    strategies_[active_.load(std::memory_order_relaxed)]->fold_run(
+        worker_index, run);
+
     {
       std::lock_guard lock(queue_mutex_);
       inflight_ -= run.size();
@@ -114,13 +150,14 @@ void ParallelAggregator::drain() {
 }
 
 ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
-  // Quiesce the pool before touching the intermediates.  The drained
+  // Quiesce the pool before touching the accumulators.  The drained
   // predicate and the pause flag are evaluated/set under one queue_mutex_
   // critical section: everything enqueued before this call is folded, and
   // workers cannot pick up anything enqueued after, so a racing enqueue
   // lands intact in the *next* buffer instead of being folded into an
-  // intermediate that this reduce already summed-and-reset (the old code
-  // silently lost such updates).
+  // accumulator that this reduce already summed-and-reset.  The same
+  // handshake is the happens-before edge that makes the strategies' plain
+  // thread-local state safe to merge here.
   {
     std::unique_lock lock(queue_mutex_);
     drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
@@ -128,18 +165,15 @@ ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
   }
   Reduced out;
   out.mean_delta.assign(model_size_, 0.0f);
-  for (std::size_t s = 0; s < intermediates_.size(); ++s) {
-    std::lock_guard lock(intermediate_locks_[s]);
-    Intermediate& inter = intermediates_[s];
-    for (std::size_t i = 0; i < model_size_; ++i) {
-      out.mean_delta[i] += inter.weighted_delta[i];
-    }
-    out.weight_sum += inter.weight_sum;
-    out.count += inter.count;
-    inter.weighted_delta.assign(model_size_, 0.0f);
-    inter.weight_sum = 0.0;
-    inter.count = 0;
+  // Fixed merge order (locked, morsel, striped), untouched backends
+  // skipped: a buffer folded under one strategy reduces bit-identically to
+  // a pool that only ever had that strategy, and a mid-stream switch merges
+  // each update from exactly the accumulator it was folded into.
+  for (auto& strategy : strategies_) {
+    if (strategy->touched()) strategy->merge_and_reset(out);
   }
+  stats_.on_reduce();
+  stats_.advance_window();
   {
     std::lock_guard lock(queue_mutex_);
     paused_ = false;

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "fl/agg_strategy.hpp"
 #include "secagg/secagg_batch.hpp"
 #include "secagg/secagg_client.hpp"
 #include "secagg/secagg_server.hpp"
@@ -67,8 +68,17 @@ class SecureBufferManager {
   /// The accepted set and the unmasked aggregate are bit-identical to
   /// per-update mode; only when verdicts surface changes (kBuffered now,
   /// rejections via take_rejected() after the flush).
+  ///
+  /// `strategy` (the task's aggregation strategy) tunes how aggressively
+  /// batched drains defer the TSA boundary crossing — legal precisely
+  /// because batched ≡ per-update is proven bit-identical, so the flush
+  /// point is pure amortization policy: kLocked flushes per submit (the
+  /// conservative baseline), kMorsel defers maximally (up to the goal, one
+  /// crossing per buffer), kAuto/kStriped flush at the configured
+  /// `batch_size`.  Ignored when batch_size <= 1 (sequential session).
   SecureBufferManager(std::size_t model_size, std::size_t goal,
-                      std::uint64_t seed, std::size_t batch_size = 1);
+                      std::uint64_t seed, std::size_t batch_size = 1,
+                      AggStrategy strategy = AggStrategy::kAuto);
 
   /// Server -> client: upload configuration for the current epoch.  Each
   /// call consumes one initial message (they are single-use).  Returns
@@ -90,6 +100,10 @@ class SecureBufferManager {
   bool goal_reached() const { return accepted_ >= goal_; }
   std::uint64_t epoch() const { return epoch_; }
   std::size_t batch_size() const { return batch_size_; }
+
+  /// Pending contributions that trigger a batched flush (strategy-tuned;
+  /// see the constructor).  Exposed so tests can pin the policy table.
+  std::size_t flush_threshold() const;
 
   /// Unmask, decode, divide by the accumulated weight sum, rotate to a new
   /// epoch.  Returns nullopt if the TSA refuses (below goal).
@@ -121,6 +135,7 @@ class SecureBufferManager {
   std::size_t goal_;
   std::uint64_t seed_;
   std::size_t batch_size_;
+  AggStrategy strategy_ = AggStrategy::kAuto;
   std::uint64_t epoch_ = 0;
 
   secagg::SimulatedEnclavePlatform platform_;

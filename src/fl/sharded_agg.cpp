@@ -1,5 +1,6 @@
 #include "fl/sharded_agg.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace papaya::fl {
@@ -15,12 +16,36 @@ ShardedAggregator::ShardedAggregator(const Config& config)
   const std::size_t intermediates = config.intermediates_per_shard == 0
                                         ? threads
                                         : config.intermediates_per_shard;
+  if (!valid_agg_strategy(config.strategy)) {
+    throw std::invalid_argument("ShardedAggregator: unknown strategy");
+  }
   shards_.reserve(ring_.num_shards());
   for (std::size_t s = 0; s < ring_.num_shards(); ++s) {
     shards_.push_back(std::make_unique<ParallelAggregator>(
         model_size_, threads, intermediates, config.clip_norm,
-        config.drain_batch));
+        config.drain_batch, config.strategy, config.tuning));
   }
+}
+
+void ShardedAggregator::force_strategy(AggStrategy strategy) {
+  for (auto& shard : shards_) shard->force_strategy(strategy);
+}
+
+AggStatsSnapshot ShardedAggregator::stats_snapshot() const {
+  AggStatsSnapshot total;
+  for (const auto& shard : shards_) {
+    const AggStatsSnapshot s = shard->stats_snapshot();
+    total.enqueued += s.enqueued;
+    total.enqueued_bytes += s.enqueued_bytes;
+    total.folded += s.folded;
+    total.dropped += s.dropped;
+    total.lock_acquires += s.lock_acquires;
+    total.lock_waits += s.lock_waits;
+    total.spills += s.spills;
+    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+    total.reduces += s.reduces;
+  }
+  return total;
 }
 
 void ShardedAggregator::enqueue(std::uint64_t stream_key,

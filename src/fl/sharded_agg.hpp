@@ -44,6 +44,13 @@ class ShardedAggregator {
     /// TaskConfig::aggregation_batch_size, amortizing queue and
     /// intermediate lock traffic without changing the folds.
     std::size_t drain_batch = 1;
+    /// Fold backend every shard's pool uses (TaskConfig::
+    /// aggregation_strategy).  kLocked by default so direct constructions
+    /// keep the pre-strategy behaviour; kAuto enables the per-shard
+    /// adaptive picker.
+    AggStrategy strategy = AggStrategy::kLocked;
+    /// Strategy-layer tuning (shared by all shards).
+    AggTuning tuning;
   };
 
   explicit ShardedAggregator(const Config& config);
@@ -73,6 +80,19 @@ class ShardedAggregator {
 
   /// Updates not yet folded, summed over shards (point-in-time snapshot).
   std::size_t queued_or_inflight() const;
+
+  /// Switch every shard's fold backend mid-stream (kAuto re-enables the
+  /// adaptive picker).  Exact: already-folded updates merge from the old
+  /// backend's accumulators at the next reduce.
+  void force_strategy(AggStrategy strategy);
+
+  /// The concrete backend one shard's pool is folding with right now.
+  AggStrategy shard_active_strategy(std::size_t shard) const {
+    return shards_[shard]->active_strategy();
+  }
+
+  /// Hot-path counters summed over shards (max_queue_depth is the max).
+  AggStatsSnapshot stats_snapshot() const;
 
  private:
   std::size_t model_size_;

@@ -5,6 +5,7 @@
 // Deliberately tiny: the protocol only needs integers, doubles, raw byte
 // strings, and float vectors (serialized model updates).
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -133,8 +134,25 @@ class ByteReader {
 
   std::vector<float> floats() {
     const std::uint64_t n = u64();
+    // Bounds-check the whole payload up front (division form, so a hostile
+    // count cannot overflow — or allocate gigabytes before the first
+    // element's read would have thrown).
+    if (n > remaining() / 4) {
+      throw std::out_of_range("ByteReader: truncated message");
+    }
     std::vector<float> v(n);
-    for (auto& x : v) x = f32();
+    if constexpr (std::endian::native == std::endian::little) {
+      // The wire format is LE IEEE-754, so on LE hosts the payload is
+      // already the in-memory representation: one memcpy instead of
+      // assembling every f32 from four byte loads (this is the hottest
+      // loop in server-side aggregation).
+      if (n > 0) {
+        std::memcpy(v.data(), data_.data() + pos_, n * 4);
+        pos_ += n * 4;
+      }
+    } else {
+      for (auto& x : v) x = f32();
+    }
     return v;
   }
 
