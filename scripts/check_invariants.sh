@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Repo invariant linter: grep-level rules that the type system cannot state.
+# Runs in CI next to the compiler checks; exits nonzero with a pointer to the
+# offending line on any violation.
+#
+#   1. Raw synchronization primitives appear ONLY in src/util/sync.hpp.  All
+#      other code must use the capability-annotated util:: wrappers so Clang
+#      Thread Safety Analysis sees every lock (see that header).
+#   2. No ad-hoc randomness anywhere in src/: no rand()/srand(), no
+#      std::mt19937*, no std::random_device.  All randomness flows through
+#      util/rng.hpp so runs are reproducible from a single seed.
+#   3. Simulator randomness is keyed by entity: any util::Rng or
+#      util::SplitMix64 constructed in src/sim/ must take its seed from
+#      sim::SimStreams (so per-device draws are stable under reordering), or
+#      carry a `sim-streams-exempt` marker explaining why (init-path RNGs
+#      that run before the event loop starts).
+#   4. Every bench/bench_X.cpp has a committed BENCH_X.json at the repo root
+#      and vice versa — the figure reproductions stay in lockstep with their
+#      recorded results.
+#   5. Every tests/*_test.cpp is registered in CMakeLists.txt — a suite that
+#      exists but never runs is worse than no suite.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+
+fail() {
+  echo "INVARIANT VIOLATION: $1" >&2
+  shift
+  for line in "$@"; do echo "    $line" >&2; done
+  failures=$((failures + 1))
+}
+
+# fail_with_hits <message> <multiline hit list>
+fail_with_hits() {
+  echo "INVARIANT VIOLATION: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. raw sync primitives only in src/util/sync.hpp ----------------------
+raw_sync='std::(mutex|shared_mutex|timed_mutex|recursive_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)'
+hits=$(grep -rnE "$raw_sync" src tests bench examples \
+  | grep -v '^src/util/sync.hpp:' || true)
+if [[ -n "$hits" ]]; then
+  fail_with_hits "raw std:: synchronization primitive outside src/util/sync.hpp \
+(use util::Mutex / util::LockGuard / util::CondVar from util/sync.hpp)" \
+    "$hits"
+fi
+
+# --- 2. no ad-hoc randomness in src/ ---------------------------------------
+raw_rng='std::mt19937|std::random_device|[^a-zA-Z_](rand|srand)[[:space:]]*\('
+hits=$(grep -rnE "$raw_rng" src || true)
+if [[ -n "$hits" ]]; then
+  fail_with_hits \
+    "ad-hoc randomness in src/ (seed a util::Rng from util/rng.hpp instead)" \
+    "$hits"
+fi
+
+# --- 3. simulator RNG construction goes through SimStreams -----------------
+# The exemption marker may sit on the construction line or the line above it.
+hits=$(grep -rn -B1 -E 'util::(Rng|SplitMix64)[[:space:]]+[a-zA-Z_]+[[:space:]]*[({]' src/sim \
+  | awk -F'[-:]' '
+      /sim-streams-exempt/ { exempt_next = 1; next }
+      /util::(Rng|SplitMix64)/ {
+        if (!exempt_next && $0 !~ /streams_/) print $0
+        exempt_next = 0; next
+      }
+      { exempt_next = 0 }' || true)
+if [[ -n "$hits" ]]; then
+  fail_with_hits "util::Rng constructed in src/sim/ without a SimStreams-derived seed \
+(key it via sim::SimStreams, or add a '// sim-streams-exempt: <why>' marker)" \
+    "$hits"
+fi
+
+# --- 4. bench binaries <-> BENCH_*.json lockstep ---------------------------
+for bench_src in bench/bench_*.cpp; do
+  name=$(basename "$bench_src" .cpp)
+  json="BENCH_${name#bench_}.json"
+  if [[ ! -f "$json" ]]; then
+    fail "bench target $name has no committed $json (run the bench target and commit its result)"
+  fi
+done
+for json in BENCH_*.json; do
+  name="bench/bench_${json#BENCH_}"
+  src="${name%.json}.cpp"
+  if [[ ! -f "$src" ]]; then
+    fail "$json has no matching $src (stale result file?)"
+  fi
+done
+
+# --- 5. every test suite is registered with CTest --------------------------
+for test_src in tests/*_test.cpp; do
+  base=$(basename "$test_src")
+  if ! grep -q "tests/$base" CMakeLists.txt; then
+    fail "$test_src is not registered in CMakeLists.txt (add it to PAPAYA_TEST_SOURCES)"
+  fi
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "check_invariants: $failures violation(s)" >&2
+  exit 1
+fi
+echo "check_invariants: OK"

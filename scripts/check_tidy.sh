@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-tidy over every src/ translation unit with the curated .clang-tidy
+# check set (the CI "tidy" job).  Needs a compile_commands.json — configure
+# first (CMAKE_EXPORT_COMPILE_COMMANDS is always on):
+#
+#   cmake -B build -S .
+#   scripts/check_tidy.sh [build-dir]      # default build dir: build/
+#
+# Honors $CLANG_TIDY to select a specific binary (clang-tidy-15 etc.).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "check_tidy: '$tidy' not found on PATH" >&2
+  echo "check_tidy: install clang-tidy or set CLANG_TIDY=<binary>" >&2
+  exit 2
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "check_tidy: $build_dir/compile_commands.json not found" >&2
+  echo "check_tidy: run 'cmake -B $build_dir -S .' first" >&2
+  exit 2
+fi
+
+echo "check_tidy: $("$tidy" --version | head -n2 | tail -n1)"
+
+# Only hand-written library TUs: generated header-check stubs are covered via
+# HeaderFilterRegex when their includers are scanned, and tests/bench lean on
+# GoogleTest macros that trip bugprone checks by design.
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "check_tidy: scanning ${#sources[@]} translation units"
+
+"$tidy" -p "$build_dir" --quiet "${sources[@]}"
+echo "check_tidy: OK"

@@ -1,15 +1,42 @@
 #!/usr/bin/env bash
 # Tier-1 verify: the exact ROADMAP command — configure, build everything
-# (library, 19 test suites, benches, examples), and run every CTest suite.
+# (library, test suites, benches, examples), and run every CTest suite.
 # Exits nonzero on any configure, compile, link, or test failure.
 #
-# Usage: scripts/verify.sh [extra cmake configure args...]
-#   e.g. scripts/verify.sh -DCMAKE_BUILD_TYPE=Debug -DPAPAYA_WERROR=ON
+# Usage: scripts/verify.sh [-- extra cmake configure args...]
+#   e.g. scripts/verify.sh -- -DCMAKE_BUILD_TYPE=Debug -DPAPAYA_WERROR=ON
+#        scripts/verify.sh -- -DPAPAYA_SANITIZE=address
+#        CXX=clang++ scripts/verify.sh -- -DPAPAYA_WERROR=ON
+#
+# Bare args (no --) are still forwarded to cmake for compatibility with the
+# pre-banner invocation style.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . "$@"
+cmake_args=()
+if [[ "${1:-}" == "--" ]]; then
+  shift
+  cmake_args=("$@")
+elif [[ $# -gt 0 ]]; then
+  cmake_args=("$@")
+fi
+
+cmake -B build -S . "${cmake_args[@]}"
+
+# Banner: which toolchain and configuration this verify actually ran — the
+# sanitizer/compiler matrix in CI reuses this script, so make each leg
+# self-identifying in the logs.
+compiler=$(grep -m1 '^CMAKE_CXX_COMPILER:' build/CMakeCache.txt | cut -d= -f2-)
+build_type=$(grep -m1 '^CMAKE_BUILD_TYPE:' build/CMakeCache.txt | cut -d= -f2-)
+sanitize=$(grep -m1 '^PAPAYA_SANITIZE:' build/CMakeCache.txt | cut -d= -f2- || true)
+compiler_version=$("${compiler}" --version 2>/dev/null | head -n1 || echo "unknown")
+echo "=============================================================="
+echo " verify: compiler   = ${compiler} (${compiler_version})"
+echo " verify: build type = ${build_type:-<default>}"
+echo " verify: sanitizer  = ${sanitize:-<none>}"
+echo "=============================================================="
+
 cmake --build build -j "$(nproc)"
 cd build
 ctest --output-on-failure -j "$(nproc)"

@@ -1,11 +1,13 @@
 #include "fl/agg_strategy.hpp"
 
 #include <algorithm>
+#include <mutex>  // std::once_flag for the striped lazy init (not a lock type)
 #include <stdexcept>
 #include <utility>
 
 #include "fl/model_update.hpp"
 #include "ml/math.hpp"
+#include "util/sync.hpp"
 
 namespace papaya::fl {
 
@@ -72,14 +74,23 @@ void fold_span(std::span<float> acc, std::span<const float> x, double weight) {
 
 // -- Locked (PR-2 baseline) --------------------------------------------------
 
+/// One mutex-guarded intermediate aggregate.  The lock is a level-0 leaf in
+/// the repo hierarchy (util/sync.hpp): never held while acquiring anything
+/// else.  Pairing lock and data in one struct lets the thread-safety
+/// analysis check every access: `slot.inter` is unreachable without holding
+/// `slot.lock`.
+struct LockedSlot {
+  mutable util::Mutex lock;
+  Intermediate inter PAPAYA_GUARDED_BY(lock);
+};
+
 class LockedStrategy final : public AggregationStrategy {
  public:
   explicit LockedStrategy(const StrategyContext& context)
-      : context_(context),
-        intermediates_(normalized(context.num_partitions)),
-        locks_(intermediates_.size()) {
-    for (auto& inter : intermediates_) {
-      inter.weighted_delta.assign(context_.model_size, 0.0f);
+      : context_(context), slots_(normalized(context.num_partitions)) {
+    for (auto& slot : slots_) {
+      util::LockGuard guard(slot.lock);
+      slot.inter.weighted_delta.assign(context_.model_size, 0.0f);
     }
   }
 
@@ -87,7 +98,7 @@ class LockedStrategy final : public AggregationStrategy {
 
   void fold_run(std::size_t worker,
                 std::span<const QueuedUpdate> run) override {
-    const std::size_t slot = worker % intermediates_.size();
+    LockedSlot& slot = slots_[worker % slots_.size()];
     // Deserialize and clip outside any lock; a malformed update must not
     // poison the aggregate, so it simply drops out of the run.
     std::vector<std::pair<ModelUpdate, double>> folds;
@@ -104,16 +115,13 @@ class LockedStrategy final : public AggregationStrategy {
       folds.emplace_back(std::move(update), queued.weight);
     }
     if (folds.empty()) return;
-    std::mutex& lock = locks_[slot];
-    const bool contended = !lock.try_lock();
-    if (contended) lock.lock();
+    const bool contended = slot.lock.lock_reporting_contention();
     if (context_.stats) context_.stats->on_lock(contended);
-    std::lock_guard guard(lock, std::adopt_lock);
-    Intermediate& inter = intermediates_[slot];
+    util::LockGuard guard(slot.lock, std::adopt_lock);
     for (const auto& [update, weight] : folds) {
-      fold_span(inter.weighted_delta, update.delta, weight);
-      inter.weight_sum += weight;
-      ++inter.count;
+      fold_span(slot.inter.weighted_delta, update.delta, weight);
+      slot.inter.weight_sum += weight;
+      ++slot.inter.count;
     }
     if (context_.stats) context_.stats->on_folded(folds.size());
   }
@@ -121,9 +129,9 @@ class LockedStrategy final : public AggregationStrategy {
   void merge_and_reset(AggReduced& out) override {
     // All slots, in slot order, untouched ones included — exactly the
     // pre-strategy reduce, so a locked-only buffer is bit-identical to it.
-    for (std::size_t s = 0; s < intermediates_.size(); ++s) {
-      std::lock_guard guard(locks_[s]);
-      Intermediate& inter = intermediates_[s];
+    for (auto& slot : slots_) {
+      util::LockGuard guard(slot.lock);
+      Intermediate& inter = slot.inter;
       for (std::size_t i = 0; i < context_.model_size; ++i) {
         out.mean_delta[i] += inter.weighted_delta[i];
       }
@@ -136,21 +144,29 @@ class LockedStrategy final : public AggregationStrategy {
   }
 
   bool touched() const override {
-    // Only called with the pool quiesced (queue-mutex handshake), so plain
-    // reads of the counts are ordered after every fold.
-    for (const auto& inter : intermediates_) {
-      if (inter.count != 0 || inter.weight_sum != 0.0) return true;
+    // Called with the pool quiesced, but take each leaf lock anyway: it is
+    // uncontended there, costs nothing on the reduce path, and keeps the
+    // compile-time discipline exception-free.
+    for (const auto& slot : slots_) {
+      util::LockGuard guard(slot.lock);
+      if (slot.inter.count != 0 || slot.inter.weight_sum != 0.0) return true;
     }
     return false;
   }
 
  private:
   const StrategyContext context_;
-  std::vector<Intermediate> intermediates_;
-  std::vector<std::mutex> locks_;
+  std::vector<LockedSlot> slots_;
 };
 
 // -- Morsel (thread-local pre-aggregation) -----------------------------------
+
+/// One lock-protected global partition (the morsel spill/overflow target).
+/// Level-0 leaf lock, like LockedSlot.
+struct GlobalPartition {
+  mutable util::Mutex lock;
+  Intermediate inter PAPAYA_GUARDED_BY(lock);
+};
 
 class MorselStrategy final : public AggregationStrategy {
  public:
@@ -159,8 +175,7 @@ class MorselStrategy final : public AggregationStrategy {
         locals_(normalized(context.num_workers)),
         scratch_(locals_.size()),
         folds_since_spill_(locals_.size(), 0),
-        globals_(normalized(context.num_partitions)),
-        global_locks_(globals_.size()) {
+        globals_(normalized(context.num_partitions)) {
     // Thread-local accumulators are admitted against the byte budget; the
     // rest of the pool overflows into the locked global partitions (the
     // Leis-style pressure valve for our group-count-1 aggregate).
@@ -199,17 +214,20 @@ class MorselStrategy final : public AggregationStrategy {
     // order): a fixed merge order, independent of which path each update
     // took.  Untouched accumulators are skipped so they cannot perturb the
     // sign of exact-zero sums contributed by another strategy.
-    for (std::size_t s = 0; s < globals_.size(); ++s) {
-      std::lock_guard guard(global_locks_[s]);
-      merge_one(globals_[s], out);
+    for (auto& global : globals_) {
+      util::LockGuard guard(global.lock);
+      merge_one(global.inter, out);
     }
     for (auto& local : locals_) merge_one(local, out);
   }
 
   bool touched() const override {
     for (const auto& g : globals_) {
-      if (g.count != 0 || g.weight_sum != 0.0) return true;
+      util::LockGuard guard(g.lock);
+      if (g.inter.count != 0 || g.inter.weight_sum != 0.0) return true;
     }
+    // Locals are worker-private by construction (one per worker index); the
+    // quiesce handshake orders these reads after every fold.
     for (const auto& l : locals_) {
       if (l.count != 0 || l.weight_sum != 0.0) return true;
     }
@@ -267,13 +285,11 @@ class MorselStrategy final : public AggregationStrategy {
   void spill_local(std::size_t w) {
     Intermediate& local = locals_[w];
     if (local.count == 0 && local.weight_sum == 0.0) return;
-    const std::size_t slot = w % globals_.size();
-    std::mutex& lock = global_locks_[slot];
-    const bool contended = !lock.try_lock();
-    if (contended) lock.lock();
+    GlobalPartition& partition = globals_[w % globals_.size()];
+    const bool contended = partition.lock.lock_reporting_contention();
     if (context_.stats) context_.stats->on_lock(contended);
-    std::lock_guard guard(lock, std::adopt_lock);
-    Intermediate& global = globals_[slot];
+    util::LockGuard guard(partition.lock, std::adopt_lock);
+    Intermediate& global = partition.inter;
     if (global.weighted_delta.empty()) {
       global.weighted_delta.assign(context_.model_size, 0.0f);
     }
@@ -291,13 +307,11 @@ class MorselStrategy final : public AggregationStrategy {
   /// Overflow path for workers beyond the local-buffer budget: fold into
   /// the shared partition under its lock, like the locked baseline.
   void fold_global(std::size_t w, const UpdateView& view, double weight) {
-    const std::size_t slot = w % globals_.size();
-    std::mutex& lock = global_locks_[slot];
-    const bool contended = !lock.try_lock();
-    if (contended) lock.lock();
+    GlobalPartition& partition = globals_[w % globals_.size()];
+    const bool contended = partition.lock.lock_reporting_contention();
     if (context_.stats) context_.stats->on_lock(contended);
-    std::lock_guard guard(lock, std::adopt_lock);
-    fold_into(w, globals_[slot], view, weight);
+    util::LockGuard guard(partition.lock, std::adopt_lock);
+    fold_into(w, partition.inter, view, weight);
   }
 
   const StrategyContext context_;
@@ -305,8 +319,7 @@ class MorselStrategy final : public AggregationStrategy {
   std::vector<std::vector<float>> scratch_;   ///< per-worker clip buffers
   std::vector<std::size_t> folds_since_spill_;
   std::size_t max_locals_ = 0;
-  std::vector<Intermediate> globals_;  ///< spill/overflow partitions
-  std::vector<std::mutex> global_locks_;
+  std::vector<GlobalPartition> globals_;  ///< spill/overflow partitions
 };
 
 // -- Striped (atomic fold for small updates) ---------------------------------

@@ -10,6 +10,7 @@ namespace papaya::fl {
 Coordinator::Coordinator(std::uint64_t seed) : rng_(seed ^ 0xc00dULL) {}
 
 void Coordinator::register_aggregator(Aggregator& aggregator, double now) {
+  util::LockGuard lock(mutex_);
   aggregators_[aggregator.id()] = {&aggregator, now, 0, true};
 }
 
@@ -31,6 +32,7 @@ void Coordinator::submit_task(const TaskConfig& config,
                               std::vector<float> initial_model,
                               ml::ServerOptimizerConfig server_opt,
                               std::uint64_t initial_version) {
+  util::LockGuard lock(mutex_);
   Aggregator* agg = pick_aggregator();
   if (agg == nullptr) {
     throw std::runtime_error("Coordinator: no live aggregators available");
@@ -62,6 +64,7 @@ void Coordinator::submit_task(const TaskConfig& config,
 
 void Coordinator::adopt_task(const TaskConfig& config,
                              ml::ServerOptimizerConfig server_opt) {
+  util::LockGuard lock(mutex_);
   TaskEntry entry;
   entry.config = config;
   if (entry.config.aggregator_shards == 0) entry.config.aggregator_shards = 1;
@@ -79,17 +82,20 @@ void Coordinator::adopt_task(const TaskConfig& config,
 }
 
 std::size_t Coordinator::task_shards(const std::string& task) const {
+  util::LockGuard lock(mutex_);
   const auto it = tasks_.find(task);
   return it == tasks_.end() ? 0 : it->second.config.aggregator_shards;
 }
 
 AggStrategy Coordinator::task_strategy(const std::string& task) const {
+  util::LockGuard lock(mutex_);
   const auto it = tasks_.find(task);
   return it == tasks_.end() ? AggStrategy::kAuto
                             : it->second.config.aggregation_strategy;
 }
 
 void Coordinator::remove_task(const std::string& task) {
+  util::LockGuard lock(mutex_);
   const auto it = tasks_.find(task);
   if (it == tasks_.end()) return;
   const auto agg_it = aggregators_.find(it->second.aggregator_id);
@@ -105,6 +111,7 @@ void Coordinator::remove_task(const std::string& task) {
 void Coordinator::aggregator_report(const std::string& aggregator_id,
                                     std::uint64_t sequence, double now,
                                     const std::vector<TaskReport>& reports) {
+  util::LockGuard lock(mutex_);
   const auto it = aggregators_.find(aggregator_id);
   if (it == aggregators_.end()) return;
   if (sequence <= it->second.last_sequence) return;  // stale report
@@ -134,6 +141,7 @@ void Coordinator::aggregator_report(const std::string& aggregator_id,
 
 std::vector<std::string> Coordinator::detect_failures(double now,
                                                       double timeout) {
+  util::LockGuard lock(mutex_);
   std::vector<std::string> failed;
   for (auto& [id, entry] : aggregators_) {
     if (entry.alive && now - entry.last_heartbeat > timeout) {
@@ -180,6 +188,7 @@ std::vector<std::string> Coordinator::detect_failures(double now,
 
 std::optional<ClientAssignment> Coordinator::assign_client(
     const ClientCapabilities& caps) {
+  util::LockGuard lock(mutex_);
   // Build the eligible-task list (Sec. 6.2): capability match and positive
   // remaining demand.
   std::vector<const std::string*> eligible;
@@ -200,18 +209,21 @@ std::optional<ClientAssignment> Coordinator::assign_client(
 }
 
 void Coordinator::assignment_concluded(const std::string& task) {
+  util::LockGuard lock(mutex_);
   const auto it = tasks_.find(task);
   if (it == tasks_.end()) return;
   if (it->second.pending_assignments > 0) --it->second.pending_assignments;
 }
 
 std::int64_t Coordinator::pooled_demand(const std::string& task) const {
+  util::LockGuard lock(mutex_);
   const auto it = tasks_.find(task);
   if (it == tasks_.end()) return 0;
   return it->second.reported_demand - it->second.pending_assignments;
 }
 
 void Coordinator::recover_from_aggregator_state(double now) {
+  util::LockGuard lock(mutex_);
   // Leader re-election recovery (App. E.4): rebuild the assignment map from
   // what the live aggregators are actually running.
   map_.task_to_aggregator.clear();

@@ -22,6 +22,7 @@
 #include "fl/aggregator.hpp"
 #include "fl/task.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace papaya::fl {
 
@@ -97,7 +98,13 @@ class Coordinator {
   void adopt_task(const TaskConfig& config,
                   ml::ServerOptimizerConfig server_opt);
 
-  const AssignmentMap& assignment_map() const { return map_; }
+  /// Point-in-time copy of the routing table.  By value: the Coordinator is
+  /// internally locked, and a reference into it would race placement and
+  /// failover updates (Selectors cache their own copy anyway).
+  AssignmentMap assignment_map() const {
+    util::LockGuard lock(mutex_);
+    return map_;
+  }
 
   /// Aggregation shard count the Coordinator tracks for a task (normalized
   /// TaskConfig::aggregator_shards; 0 for unknown tasks).  Placement,
@@ -146,12 +153,18 @@ class Coordinator {
   };
 
   /// Least-loaded live aggregator by estimated workload.
-  Aggregator* pick_aggregator();
+  Aggregator* pick_aggregator() PAPAYA_REQUIRES(mutex_);
 
-  util::Rng rng_;
-  std::map<std::string, AggregatorEntry> aggregators_;
-  std::map<std::string, TaskEntry> tasks_;
-  AssignmentMap map_;
+  /// Guards all Coordinator soft state.  Hierarchy (util/sync.hpp): held
+  /// *above* the aggregation locks — placement and failover call into
+  /// Aggregator task assignment/removal, which constructs or tears down
+  /// ParallelAggregator pools and their queue_mutex_.  Aggregator code never
+  /// calls back into the Coordinator, so the order is acyclic.
+  mutable util::Mutex mutex_;
+  util::Rng rng_ PAPAYA_GUARDED_BY(mutex_);
+  std::map<std::string, AggregatorEntry> aggregators_ PAPAYA_GUARDED_BY(mutex_);
+  std::map<std::string, TaskEntry> tasks_ PAPAYA_GUARDED_BY(mutex_);
+  AssignmentMap map_ PAPAYA_GUARDED_BY(mutex_);
 };
 
 }  // namespace papaya::fl

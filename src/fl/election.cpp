@@ -142,8 +142,9 @@ std::vector<std::string> CoordinatorGroup::detect_failures(double now,
   return coordinator_->detect_failures(now, timeout);
 }
 
-const AssignmentMap* CoordinatorGroup::assignment_map() const {
-  return coordinator_ ? &coordinator_->assignment_map() : nullptr;
+std::optional<AssignmentMap> CoordinatorGroup::assignment_map() const {
+  if (!coordinator_) return std::nullopt;
+  return coordinator_->assignment_map();
 }
 
 const Coordinator& CoordinatorGroup::leader() const {

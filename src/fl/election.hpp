@@ -101,9 +101,11 @@ class CoordinatorGroup {
 
   std::vector<std::string> detect_failures(double now, double timeout);
 
-  /// The leader's assignment map; Selectors keep serving their last cached
-  /// copy while leaderless.  Returns nullptr if there is no leader.
-  const AssignmentMap* assignment_map() const;
+  /// Point-in-time copy of the leader's assignment map; Selectors keep
+  /// serving their last cached copy while leaderless.  By value because the
+  /// Coordinator is internally locked (see Coordinator::assignment_map).
+  /// Returns nullopt if there is no leader.
+  std::optional<AssignmentMap> assignment_map() const;
 
   /// The leader's live Coordinator (for Selector::refresh and tests).
   /// Throws std::runtime_error if there is no leader.

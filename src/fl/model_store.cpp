@@ -16,6 +16,7 @@ ModelStore::ModelStore(Config config) : config_(config) {
 
 double ModelStore::publish(std::uint64_t version, std::size_t model_bytes,
                            double now) {
+  util::LockGuard lock(mutex_);
   if (version <= last_version_) {
     throw std::invalid_argument("ModelStore: versions must increase");
   }
@@ -35,6 +36,7 @@ double ModelStore::publish(std::uint64_t version, std::size_t model_bytes,
 }
 
 std::uint64_t ModelStore::visible_version(double now) const {
+  util::LockGuard lock(mutex_);
   std::uint64_t visible = 0;
   for (const Completed& c : history_) {
     if (c.visible_at <= now) visible = c.version;

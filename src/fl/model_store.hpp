@@ -16,6 +16,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/sync.hpp"
+
 namespace papaya::fl {
 
 class ModelStore {
@@ -49,13 +51,21 @@ class ModelStore {
   std::uint64_t visible_version(double now) const;
 
   /// When the store becomes idle (end of the last scheduled write).
-  double busy_until() const { return busy_until_; }
+  double busy_until() const {
+    util::LockGuard lock(mutex_);
+    return busy_until_;
+  }
 
   /// Shortest possible interval between visible versions for a given model
   /// size — the hard ceiling on server-step frequency the paper points at.
   double min_publish_interval_s(std::size_t model_bytes) const;
 
-  const Stats& stats() const { return stats_; }
+  /// Point-in-time copy (by value: the store is internally locked, so a
+  /// reference into it would race concurrent publishes).
+  Stats stats() const {
+    util::LockGuard lock(mutex_);
+    return stats_;
+  }
 
  private:
   struct Completed {
@@ -63,11 +73,16 @@ class ModelStore {
     double visible_at;
   };
 
-  Config config_;
-  double busy_until_ = 0.0;
-  std::uint64_t last_version_ = 0;
-  std::vector<Completed> history_;
-  Stats stats_;
+  Config config_;  ///< immutable after construction
+
+  /// Independent root lock (see util/sync.hpp): serializes publishes —
+  /// which the write-bandwidth model requires anyway — and keeps version
+  /// monotonicity checks atomic with the schedule update.
+  mutable util::Mutex mutex_;
+  double busy_until_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t last_version_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::vector<Completed> history_ PAPAYA_GUARDED_BY(mutex_);
+  Stats stats_ PAPAYA_GUARDED_BY(mutex_);
 };
 
 }  // namespace papaya::fl

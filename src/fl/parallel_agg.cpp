@@ -60,7 +60,7 @@ ParallelAggregator::ParallelAggregator(std::size_t model_size,
 
 ParallelAggregator::~ParallelAggregator() {
   {
-    std::lock_guard lock(queue_mutex_);
+    util::LockGuard lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -70,7 +70,7 @@ ParallelAggregator::~ParallelAggregator() {
 void ParallelAggregator::enqueue(util::Bytes serialized_update, double weight) {
   const std::size_t bytes = serialized_update.size();
   {
-    std::lock_guard lock(queue_mutex_);
+    util::LockGuard lock(queue_mutex_);
     queue_.push_back(QueuedUpdate{std::move(serialized_update), weight});
     // Recorded under the queue lock so a worker that observes the queued
     // update also observes its stats: the adaptive picker then always sees
@@ -106,8 +106,9 @@ void ParallelAggregator::worker_loop(std::size_t worker_index) {
     // happen or their per-accumulator order.
     run.clear();
     {
-      std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
+      util::LockGuard lock(queue_mutex_);
+      queue_cv_.wait(queue_mutex_, lock, [this] {
+        queue_mutex_.assert_held();  // TSA: predicate runs under the wait lock
         return stopping_ || (!paused_ && !queue_.empty());
       });
       if (queue_.empty()) return;  // stopping
@@ -137,7 +138,7 @@ void ParallelAggregator::worker_loop(std::size_t worker_index) {
         worker_index, run);
 
     {
-      std::lock_guard lock(queue_mutex_);
+      util::LockGuard lock(queue_mutex_);
       inflight_ -= run.size();
     }
     drained_cv_.notify_all();
@@ -145,8 +146,11 @@ void ParallelAggregator::worker_loop(std::size_t worker_index) {
 }
 
 void ParallelAggregator::drain() {
-  std::unique_lock lock(queue_mutex_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  util::LockGuard lock(queue_mutex_);
+  drained_cv_.wait(queue_mutex_, lock, [this] {
+    queue_mutex_.assert_held();
+    return queue_.empty() && inflight_ == 0;
+  });
 }
 
 ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
@@ -159,8 +163,11 @@ ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
   // handshake is the happens-before edge that makes the strategies' plain
   // thread-local state safe to merge here.
   {
-    std::unique_lock lock(queue_mutex_);
-    drained_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+    util::LockGuard lock(queue_mutex_);
+    drained_cv_.wait(queue_mutex_, lock, [this] {
+      queue_mutex_.assert_held();
+      return queue_.empty() && inflight_ == 0;
+    });
     paused_ = true;
   }
   Reduced out;
@@ -175,7 +182,7 @@ ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset_sums() {
   stats_.on_reduce();
   stats_.advance_window();
   {
-    std::lock_guard lock(queue_mutex_);
+    util::LockGuard lock(queue_mutex_);
     paused_ = false;
   }
   queue_cv_.notify_all();  // wake workers for anything enqueued mid-reduce
@@ -192,7 +199,7 @@ ParallelAggregator::Reduced ParallelAggregator::reduce_and_reset() {
 }
 
 std::size_t ParallelAggregator::queued_or_inflight() const {
-  std::lock_guard lock(queue_mutex_);
+  util::LockGuard lock(queue_mutex_);
   return queue_.size() + inflight_;
 }
 

@@ -35,17 +35,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "fl/agg_strategy.hpp"
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace papaya::fl {
 
@@ -132,16 +131,20 @@ class ParallelAggregator {
   std::atomic<AggStrategy> configured_;
   std::atomic<std::size_t> active_;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drained_cv_;
-  std::deque<QueuedUpdate> queue_;
-  std::size_t inflight_ = 0;
-  bool stopping_ = false;
+  /// Lock hierarchy: queue_mutex_ is level 1 — workers release it before
+  /// folding into a strategy's level-0 partition lock, and the reduce path's
+  /// quiesce handshake guarantees the two levels are never held together
+  /// (see util/sync.hpp for the full hierarchy).
+  mutable util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  util::CondVar drained_cv_;
+  std::deque<QueuedUpdate> queue_ PAPAYA_GUARDED_BY(queue_mutex_);
+  std::size_t inflight_ PAPAYA_GUARDED_BY(queue_mutex_) = 0;
+  bool stopping_ PAPAYA_GUARDED_BY(queue_mutex_) = false;
   /// True while reduce_and_reset() reads/resets the accumulators; workers
   /// leave the queue untouched so mid-reduce enqueues survive into the next
-  /// buffer (guarded by queue_mutex_).
-  bool paused_ = false;
+  /// buffer.
+  bool paused_ PAPAYA_GUARDED_BY(queue_mutex_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -30,6 +30,7 @@ SecureBufferManager::SecureBufferManager(std::size_t model_size,
   // Per-component budget: sqrt(max examples) * per-component delta bound,
   // aggregated over one buffer.  8.0 is generous for clipped LM deltas.
   fixed_point_ = secagg::FixedPointParams::for_budget(8.0, goal);
+  util::LockGuard lock(mutex_);
   rotate_epoch();
 }
 
@@ -56,6 +57,7 @@ void SecureBufferManager::rotate_epoch() {
 }
 
 std::optional<SecureUploadConfig> SecureBufferManager::next_upload_config() {
+  util::LockGuard lock(mutex_);
   if (next_message_ >= tsa_->initial_messages().size()) return std::nullopt;
   SecureUploadConfig config;
   config.epoch = epoch_;
@@ -96,6 +98,7 @@ std::optional<SecureReport> SecureBufferManager::prepare_report(
 
 SecureSubmitOutcome SecureBufferManager::submit(const SecureReport& report,
                                                 double weight) {
+  util::LockGuard lock(mutex_);
   if (report.epoch != epoch_) return SecureSubmitOutcome::kWrongEpoch;
   if (batch_size_ <= 1) {
     const secagg::TsaAccept verdict = session_->accept(report.contribution);
@@ -151,12 +154,14 @@ void SecureBufferManager::flush_pending() {
 }
 
 std::size_t SecureBufferManager::take_rejected() {
+  util::LockGuard lock(mutex_);
   const std::size_t out = rejected_unclaimed_;
   rejected_unclaimed_ = 0;
   return out;
 }
 
 std::optional<std::vector<float>> SecureBufferManager::finalize_mean() {
+  util::LockGuard lock(mutex_);
   if (batch_size_ > 1) flush_pending();
   const auto decoded = batch_size_ > 1
                            ? batched_session_->finalize_decoded(fixed_point_)

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fl/agg_strategy.hpp"
+#include "util/sync.hpp"
 #include "secagg/secagg_batch.hpp"
 #include "secagg/secagg_client.hpp"
 #include "secagg/secagg_server.hpp"
@@ -95,10 +96,22 @@ class SecureBufferManager {
   /// (the deferred analogue of a synchronous kTsaRejected).  Resets on read.
   std::size_t take_rejected();
 
-  std::size_t accepted_count() const { return accepted_; }
-  std::size_t pending_count() const { return pending_.size(); }
-  bool goal_reached() const { return accepted_ >= goal_; }
-  std::uint64_t epoch() const { return epoch_; }
+  std::size_t accepted_count() const {
+    util::LockGuard lock(mutex_);
+    return accepted_;
+  }
+  std::size_t pending_count() const {
+    util::LockGuard lock(mutex_);
+    return pending_.size();
+  }
+  bool goal_reached() const {
+    util::LockGuard lock(mutex_);
+    return accepted_ >= goal_;
+  }
+  std::uint64_t epoch() const {
+    util::LockGuard lock(mutex_);
+    return epoch_;
+  }
   std::size_t batch_size() const { return batch_size_; }
 
   /// Pending contributions that trigger a batched flush (strategy-tuned;
@@ -126,17 +139,19 @@ class SecureBufferManager {
   }
 
  private:
-  void rotate_epoch();
+  void rotate_epoch() PAPAYA_REQUIRES(mutex_);
   /// Batched mode: push every pending contribution through the TSA in one
   /// batch, crediting accepted weights and recording rejections.
-  void flush_pending();
+  void flush_pending() PAPAYA_REQUIRES(mutex_);
 
+  // Immutable after construction (no guard needed): configuration, the
+  // attestation platform, and the verifiable log (appended only in the
+  // constructor; proofs/snapshots are pure reads).
   std::size_t model_size_;
   std::size_t goal_;
   std::uint64_t seed_;
   std::size_t batch_size_;
   AggStrategy strategy_ = AggStrategy::kAuto;
-  std::uint64_t epoch_ = 0;
 
   secagg::SimulatedEnclavePlatform platform_;
   crypto::Digest binary_measurement_{};
@@ -144,20 +159,29 @@ class SecureBufferManager {
   std::uint64_t binary_leaf_ = 0;
   secagg::FixedPointParams fixed_point_;
 
-  std::unique_ptr<secagg::TrustedSecureAggregator> tsa_;
+  /// Epoch state.  mutex_ is an independent root lock (never nested with
+  /// any other lock in the repo; see util/sync.hpp): submit paths, epoch
+  /// rotation, and the accessors all serialize on it, so a submit can never
+  /// race a finalize_mean into crediting a rotated-away session.
+  mutable util::Mutex mutex_;
+  std::uint64_t epoch_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<secagg::TrustedSecureAggregator> tsa_
+      PAPAYA_GUARDED_BY(mutex_);
   /// Exactly one of the two sessions is live per epoch: sequential when
   /// batch_size_ <= 1, batched otherwise.
-  std::unique_ptr<secagg::SecureAggregationSession> session_;
-  std::unique_ptr<secagg::BatchedSecureAggregationSession> batched_session_;
+  std::unique_ptr<secagg::SecureAggregationSession> session_
+      PAPAYA_GUARDED_BY(mutex_);
+  std::unique_ptr<secagg::BatchedSecureAggregationSession> batched_session_
+      PAPAYA_GUARDED_BY(mutex_);
   /// Batched mode: admitted contributions awaiting a flush (contiguous, so
   /// a flush hands the whole pending run to accept_batch as one span), with
   /// their weights alongside.
-  std::vector<secagg::ClientContribution> pending_;
-  std::vector<double> pending_weights_;
-  std::size_t rejected_unclaimed_ = 0;
-  std::size_t next_message_ = 0;
-  std::size_t accepted_ = 0;
-  double weight_sum_ = 0.0;
+  std::vector<secagg::ClientContribution> pending_ PAPAYA_GUARDED_BY(mutex_);
+  std::vector<double> pending_weights_ PAPAYA_GUARDED_BY(mutex_);
+  std::size_t rejected_unclaimed_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::size_t next_message_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::size_t accepted_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  double weight_sum_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace papaya::fl

@@ -28,11 +28,12 @@ VirtualSessionManager::VirtualSessionManager()
 VirtualSessionManager::VirtualSessionManager(Options options,
                                              std::uint64_t seed)
     : options_(options),
-      token_stream_(seed | 1),
-      shard_ring_(options.aggregator_shards) {}
+      shard_ring_(options.aggregator_shards),
+      token_stream_(seed | 1) {}
 
 std::uint64_t VirtualSessionManager::open(std::uint64_t client_id,
                                           double now) {
+  util::LockGuard lock(mutex_);
   // SplitMix64 stream: unique, non-sequential tokens.
   for (;;) {
     const std::uint64_t token = token_stream_.next();
@@ -73,6 +74,7 @@ VirtualSessionManager::SessionInfo* VirtualSessionManager::live_session(
 }
 
 SessionOutcome VirtualSessionManager::touch(std::uint64_t token, double now) {
+  util::LockGuard lock(mutex_);
   SessionOutcome outcome;
   SessionInfo* info = live_session(token, now, outcome);
   if (info == nullptr) return outcome;
@@ -87,6 +89,7 @@ SessionOutcome VirtualSessionManager::touch(std::uint64_t token, double now) {
 
 SessionOutcome VirtualSessionManager::advance(std::uint64_t token,
                                               SessionStage stage, double now) {
+  util::LockGuard lock(mutex_);
   SessionOutcome outcome;
   SessionInfo* info = live_session(token, now, outcome);
   if (info == nullptr) return outcome;
@@ -100,6 +103,7 @@ SessionOutcome VirtualSessionManager::advance(std::uint64_t token,
 
 SessionOutcome VirtualSessionManager::record_chunk(std::uint64_t token,
                                                    double now) {
+  util::LockGuard lock(mutex_);
   SessionOutcome outcome;
   SessionInfo* info = live_session(token, now, outcome);
   if (info == nullptr) return outcome;
@@ -115,6 +119,7 @@ SessionOutcome VirtualSessionManager::record_chunk(std::uint64_t token,
 
 SessionOutcome VirtualSessionManager::complete(std::uint64_t token,
                                                double now) {
+  util::LockGuard lock(mutex_);
   SessionOutcome outcome;
   SessionInfo* info = live_session(token, now, outcome);
   if (info == nullptr) return outcome;
@@ -124,6 +129,7 @@ SessionOutcome VirtualSessionManager::complete(std::uint64_t token,
 }
 
 SessionOutcome VirtualSessionManager::abort(std::uint64_t token, double now) {
+  util::LockGuard lock(mutex_);
   SessionOutcome outcome;
   SessionInfo* info = live_session(token, now, outcome);
   if (info == nullptr) return outcome;
@@ -134,12 +140,14 @@ SessionOutcome VirtualSessionManager::abort(std::uint64_t token, double now) {
 
 std::optional<VirtualSessionManager::SessionInfo>
 VirtualSessionManager::lookup(std::uint64_t token) const {
+  util::LockGuard lock(mutex_);
   const auto it = sessions_.find(token);
   if (it == sessions_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<std::uint64_t> VirtualSessionManager::expire(double now) {
+  util::LockGuard lock(mutex_);
   std::vector<std::uint64_t> aborted_clients;
   for (auto& [token, info] : sessions_) {
     if (is_terminal(info.stage)) continue;
@@ -153,6 +161,7 @@ std::vector<std::uint64_t> VirtualSessionManager::expire(double now) {
 
 std::size_t VirtualSessionManager::prune_terminal(double now,
                                                   double retention_s) {
+  util::LockGuard lock(mutex_);
   std::size_t pruned = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (is_terminal(it->second.stage) &&
@@ -167,6 +176,7 @@ std::size_t VirtualSessionManager::prune_terminal(double now,
 }
 
 std::size_t VirtualSessionManager::active_sessions() const {
+  util::LockGuard lock(mutex_);
   std::size_t n = 0;
   for (const auto& [token, info] : sessions_) {
     n += !is_terminal(info.stage);

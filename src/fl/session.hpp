@@ -22,6 +22,7 @@
 
 #include "fl/shard_ring.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace papaya::fl {
 
@@ -120,7 +121,10 @@ class VirtualSessionManager {
   std::size_t prune_terminal(double now, double retention_s);
 
   std::size_t active_sessions() const;
-  std::size_t total_sessions() const { return sessions_.size(); }
+  std::size_t total_sessions() const {
+    util::LockGuard lock(mutex_);
+    return sessions_.size();
+  }
 
  private:
   bool is_terminal(SessionStage stage) const {
@@ -129,12 +133,17 @@ class VirtualSessionManager {
   }
   /// Returns the live session or sets `outcome` and nullptr.
   SessionInfo* live_session(std::uint64_t token, double now,
-                            SessionOutcome& outcome);
+                            SessionOutcome& outcome) PAPAYA_REQUIRES(mutex_);
 
-  Options options_;
-  util::SplitMix64 token_stream_;
-  ConsistentHashRing shard_ring_;
-  std::map<std::uint64_t, SessionInfo> sessions_;
+  Options options_;          ///< immutable after construction
+  ConsistentHashRing shard_ring_;  ///< immutable after construction
+
+  /// Independent root lock (see util/sync.hpp): one session table serves
+  /// every protocol-facing thread of a task, so token draws and stage
+  /// transitions serialize here.
+  mutable util::Mutex mutex_;
+  util::SplitMix64 token_stream_ PAPAYA_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, SessionInfo> sessions_ PAPAYA_GUARDED_BY(mutex_);
 };
 
 }  // namespace papaya::fl

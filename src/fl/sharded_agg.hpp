@@ -26,6 +26,10 @@
 
 namespace papaya::fl {
 
+// Lock hierarchy (util/sync.hpp): the ShardedAggregator holds no lock of its
+// own — shards are fixed at construction and routing is a pure consistent
+// hash — so every synchronization need delegates to the per-shard
+// ParallelAggregator (queue_mutex_, level 1) and its strategy leaf locks.
 class ShardedAggregator {
  public:
   struct Config {

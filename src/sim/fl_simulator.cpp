@@ -41,6 +41,7 @@ FlSimulator::FlSimulator(SimulationConfig config)
   network_ = std::make_unique<NetworkModel>(config_.network);
 
   // Build the initial global model deterministically from the seed.
+  // sim-streams-exempt: runs once before the event loop; draw order is fixed.
   util::Rng init_rng(config_.seed ^ 0x0de1ULL);
   auto initial_model = build_model(config_.model_kind, config_.model, init_rng);
   const std::size_t model_size = initial_model->num_params();
@@ -96,6 +97,7 @@ FlSimulator::~FlSimulator() = default;
 
 std::unique_ptr<ml::LanguageModel> FlSimulator::make_model_with_params(
     std::span<const float> params) const {
+  // sim-streams-exempt: mirrors the construction-time init draw exactly.
   util::Rng init_rng(config_.seed ^ 0x0de1ULL);
   auto model = build_model(config_.model_kind, config_.model, init_rng);
   if (params.size() != model->num_params()) {

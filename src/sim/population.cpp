@@ -25,6 +25,7 @@ DevicePopulation::DevicePopulation(const PopulationConfig& config)
   // order is fixed by construction, so it stays on a sequential generator
   // (the per-entity stream discipline of sim/streams.hpp is for draws whose
   // timing the event schedule controls).
+  // sim-streams-exempt: see above — pre-schedule, fixed-order synthesis.
   util::Rng rng(config.seed ^ 0xd011ceULL);
   devices_.reserve(config.num_devices);
   const double rho =

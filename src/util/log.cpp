@@ -24,22 +24,25 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  SharedLockGuard lock(mutex_);
   return level_;
 }
 
 void Logger::set_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Exclusive even for the fast drop path: the level read and the sink call
+  // must be one atomic decision, and sinks rely on mutual exclusion for
+  // un-torn output.
+  LockGuard lock(mutex_);
   if (level < level_) return;
   if (sink_) {
     sink_(level, message);

@@ -8,10 +8,11 @@
 
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace papaya::util {
 
@@ -22,8 +23,10 @@ const char* to_string(LogLevel level);
 /// A log sink receives fully formatted records.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
-/// Process-wide logger.  Thread-safe: the sink is invoked under a mutex, so
-/// sinks need no internal synchronization.
+/// Process-wide logger.  Thread-safe: the sink is invoked under an exclusive
+/// lock, so sinks need no internal synchronization and records are never
+/// torn or interleaved.  Capability: `mutex_` guards the level and the sink;
+/// it is a leaf lock (no other lock is ever acquired under it).
 class Logger {
  public:
   static Logger& instance();
@@ -41,9 +44,9 @@ class Logger {
  private:
   Logger() = default;
 
-  mutable std::mutex mutex_;
-  LogLevel level_ = LogLevel::kWarning;
-  LogSink sink_;
+  mutable SharedMutex mutex_;
+  LogLevel level_ PAPAYA_GUARDED_BY(mutex_) = LogLevel::kWarning;
+  LogSink sink_ PAPAYA_GUARDED_BY(mutex_);
 };
 
 /// Stream-style one-shot record: `LogMessage(LogLevel::kInfo) << "x=" << x;`

@@ -217,7 +217,7 @@ TEST(Election, SelectorsServeCachedMapWhileLeaderless) {
   const std::string cached_owner = *selector.route("t");
 
   f.group.fail_leader(10.0);
-  EXPECT_EQ(f.group.assignment_map(), nullptr);
+  EXPECT_FALSE(f.group.assignment_map().has_value());
   // The Selector keeps routing from its cache (App. E.4: selectors continue
   // "to operate based on last known assignments").
   EXPECT_EQ(*selector.route("t"), cached_owner);
@@ -309,7 +309,7 @@ TEST_P(ElectionFuzz, InvariantsHoldUnderRandomFailureSequences) {
       // The leader must be a live replica.
       EXPECT_TRUE(group.replica_alive(group.leader_id()));
       // A leader implies an assignment map exists.
-      EXPECT_NE(group.assignment_map(), nullptr);
+      EXPECT_TRUE(group.assignment_map().has_value());
     } else {
       // No leader: assignments must be refused.
       EXPECT_FALSE(group.assign_client({}, now).has_value());

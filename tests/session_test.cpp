@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "fl/session.hpp"
 #include "fl/shard_ring.hpp"
@@ -155,6 +157,44 @@ TEST(VirtualSession, PruneRemovesOldTerminalSessionsOnly) {
   EXPECT_FALSE(mgr.lookup(done).has_value());
   EXPECT_TRUE(mgr.lookup(live).has_value());
   EXPECT_EQ(mgr.total_sessions(), 1u);
+}
+
+// Regression for the lock-discipline migration (util/sync.hpp): before the
+// session table was internally locked, concurrent open() calls raced the
+// SplitMix64 token stream and the std::map insert — duplicate or lost
+// tokens under load.  Hammers the table from several threads and checks
+// every token is unique and every session is present.  Runs under the
+// sanitizer CI jobs (label: concurrency).
+TEST(VirtualSession, ConcurrentOpensYieldUniqueTokens) {
+  VirtualSessionManager mgr(ttl(1000.0));
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 250;
+
+  std::vector<std::vector<std::uint64_t>> tokens(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mgr, &tokens, t] {
+      tokens[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        tokens[t].push_back(mgr.open(t * kPerThread + i, 0.0));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::uint64_t> unique;
+  for (const auto& per_thread : tokens) {
+    for (const std::uint64_t token : per_thread) {
+      EXPECT_NE(token, 0u);
+      EXPECT_TRUE(unique.insert(token).second) << "duplicate token";
+    }
+  }
+  EXPECT_EQ(unique.size(), kThreads * kPerThread);
+  EXPECT_EQ(mgr.total_sessions(), kThreads * kPerThread);
+  // Every session is intact and individually addressable.
+  for (const std::uint64_t token : unique) {
+    EXPECT_TRUE(mgr.lookup(token).has_value());
+  }
 }
 
 TEST(VirtualSession, StageNamesCoverAllStages) {
