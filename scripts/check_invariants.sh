@@ -19,6 +19,16 @@
 #      recorded results.
 #   5. Every tests/*_test.cpp is registered in CMakeLists.txt — a suite that
 #      exists but never runs is worse than no suite.
+#   6. FSM harness randomness stays replayable: src/fsm/ must not construct
+#      its own util::Rng / util::SplitMix64 (or seed from entropy) — every
+#      draw flows through the per-actor StreamRng references the harness
+#      materializes from sim::SimStreams, or the printed --seed repro line
+#      cannot reproduce the run.  `fsm-rng-exempt` marks deliberate
+#      exceptions.
+#   7. The fsm test suites stay wired: fsm_workload_test and
+#      secagg_flood_test must carry the "fsm" ctest label in CMakeLists.txt,
+#      or `ctest -L fsm` (the CI smoke step and the TSan acceptance gate)
+#      silently runs nothing.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -95,6 +105,30 @@ for test_src in tests/*_test.cpp; do
   base=$(basename "$test_src")
   if ! grep -q "tests/$base" CMakeLists.txt; then
     fail "$test_src is not registered in CMakeLists.txt (add it to PAPAYA_TEST_SOURCES)"
+  fi
+done
+
+# --- 6. FSM harness draws only from its SimStreams-derived streams ---------
+hits=$(grep -rn -B1 -E 'util::(Rng|SplitMix64)[[:space:]]+[a-zA-Z_]+[[:space:]]*[({]' src/fsm \
+  | awk -F'[-:]' '
+      /fsm-rng-exempt/ { exempt_next = 1; next }
+      /util::(Rng|SplitMix64)/ {
+        if (!exempt_next) print $0
+        exempt_next = 0; next
+      }
+      { exempt_next = 0 }' || true)
+if [[ -n "$hits" ]]; then
+  fail_with_hits "util::Rng constructed in src/fsm/ — harness draws must come from the \
+per-actor StreamRng streams (StepContext::rng() / the scenario stream), or the printed \
+--seed repro line cannot replay the run.  Add '// fsm-rng-exempt: <why>' if deliberate." \
+    "$hits"
+fi
+
+# --- 7. the fsm label stays wired to its suites ----------------------------
+for fsm_suite in fsm_workload_test secagg_flood_test; do
+  if ! grep -Ezq "set_tests_properties\([^)]*${fsm_suite}[^)]*LABELS \"?[^\")]*fsm" CMakeLists.txt; then
+    fail "$fsm_suite is not labeled 'fsm' in CMakeLists.txt (ctest -L fsm — the CI smoke \
+step and the TSan gate — would silently skip it)"
   fi
 done
 

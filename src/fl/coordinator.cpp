@@ -12,6 +12,27 @@ Coordinator::Coordinator(std::uint64_t seed) : rng_(seed ^ 0xc00dULL) {}
 void Coordinator::register_aggregator(Aggregator& aggregator, double now) {
   util::LockGuard lock(mutex_);
   aggregators_[aggregator.id()] = {&aggregator, now, 0, true};
+  place_orphans();
+}
+
+std::size_t Coordinator::place_orphans() {
+  std::size_t placed = 0;
+  for (auto& [task_name, entry] : tasks_) {
+    if (!entry.orphan_checkpoint) continue;
+    Aggregator* agg = pick_aggregator();
+    if (agg == nullptr) break;
+    Aggregator::TaskCheckpoint checkpoint = std::move(*entry.orphan_checkpoint);
+    entry.orphan_checkpoint.reset();
+    agg->assign_task(entry.config, std::move(checkpoint.model),
+                     entry.server_opt, checkpoint.version);
+    entry.aggregator_id = agg->id();
+    entry.reported_demand = static_cast<std::int64_t>(entry.config.concurrency);
+    entry.pending_assignments = 0;
+    map_.task_to_aggregator[task_name] = agg->id();
+    ++placed;
+  }
+  if (placed > 0) ++map_.version;
+  return placed;
 }
 
 Aggregator* Coordinator::pick_aggregator() {
@@ -117,7 +138,9 @@ void Coordinator::aggregator_report(const std::string& aggregator_id,
   if (sequence <= it->second.last_sequence) return;  // stale report
   it->second.last_sequence = sequence;
   it->second.last_heartbeat = now;
+  const bool resurrected = !it->second.alive;
   it->second.alive = true;
+  if (resurrected) place_orphans();
   for (const auto& report : reports) {
     const auto task_it = tasks_.find(report.task);
     if (task_it == tasks_.end()) continue;
@@ -168,8 +191,17 @@ std::vector<std::string> Coordinator::detect_failures(double now,
                     std::vector<float>(entry.config.model_size, 0.0f), 0};
       Aggregator* replacement = pick_aggregator();
       if (replacement == nullptr) {
-        throw std::runtime_error("Coordinator: no live aggregator for task " +
-                                 task_name);
+        // Total outage: nowhere to move the task.  Throwing here would
+        // abandon the loop mid-reassignment with tasks_ half-updated;
+        // instead the task is orphaned — checkpoint held, routing entry
+        // dropped — and place_orphans() re-places it (at the checkpointed
+        // version) when an aggregator registers or comes back.
+        entry.aggregator_id.clear();
+        entry.orphan_checkpoint = std::move(checkpoint);
+        entry.reported_demand = 0;
+        entry.pending_assignments = 0;
+        map_.task_to_aggregator.erase(task_name);
+        continue;
       }
       // entry.config carries the task's shard count, so the replacement
       // rebuilds the same sharded pipeline around the checkpointed model.
@@ -240,6 +272,36 @@ void Coordinator::recover_from_aggregator_state(double now) {
     }
   }
   ++map_.version;
+  place_orphans();
+}
+
+Coordinator::Inspection Coordinator::inspect() const {
+  util::LockGuard lock(mutex_);
+  Inspection out;
+  out.map_version = map_.version;
+  out.task_to_aggregator = map_.task_to_aggregator;
+  for (const auto& [id, entry] : aggregators_) {
+    out.registered_aggregators.insert(id);
+    if (entry.alive) out.live_aggregators.insert(id);
+  }
+  for (const auto& [name, entry] : tasks_) {
+    Inspection::TaskView view;
+    view.aggregator_id = entry.aggregator_id;
+    view.orphaned = entry.orphan_checkpoint.has_value();
+    view.reported_demand = entry.reported_demand;
+    view.pending_assignments = entry.pending_assignments;
+    if (entry.orphan_checkpoint) {
+      view.model_version = entry.orphan_checkpoint->version;
+    } else if (!entry.aggregator_id.empty()) {
+      const auto agg_it = aggregators_.find(entry.aggregator_id);
+      if (agg_it != aggregators_.end() &&
+          agg_it->second.aggregator->has_task(name)) {
+        view.model_version = agg_it->second.aggregator->model_version(name);
+      }
+    }
+    out.tasks.emplace(name, std::move(view));
+  }
+  return out;
 }
 
 }  // namespace papaya::fl

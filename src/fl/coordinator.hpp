@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,7 +76,10 @@ class Coordinator {
 
   /// Detect aggregators whose last heartbeat is older than `timeout` and
   /// reassign their tasks (Sec. 6.3, App. E.4).  Returns the ids of the
-  /// aggregators declared failed.
+  /// aggregators declared failed.  Total outage (no live replacement) does
+  /// not throw: the task is *orphaned* — its checkpoint is held, it leaves
+  /// the routing map, and the next aggregator registration or resurrecting
+  /// heartbeat re-places it at the exact checkpointed version.
   std::vector<std::string> detect_failures(double now, double timeout);
 
   // -- Task lifecycle ------------------------------------------------------
@@ -136,6 +140,32 @@ class Coordinator {
   /// period does in production.
   void recover_from_aggregator_state(double now);
 
+  // -- Invariant inspection (test hook) ------------------------------------
+
+  /// Point-in-time snapshot of Coordinator internals, taken under one lock
+  /// hold, for the FSM workload harness's invariant layer (routing-table
+  /// consistency, checkpoint-version monotonicity).  Reads each owning
+  /// Aggregator's model version under mutex_ — legal exactly when every
+  /// Aggregator mutation goes through Coordinator APIs (the harness
+  /// discipline; Aggregator itself is not internally locked).
+  struct Inspection {
+    struct TaskView {
+      std::string aggregator_id;  ///< empty: unowned (adopted or orphaned)
+      bool orphaned = false;      ///< holding a checkpoint, awaiting placement
+      std::int64_t reported_demand = 0;
+      std::int64_t pending_assignments = 0;
+      /// Owner's live version, or the orphan checkpoint's version; 0 for
+      /// adopted tasks whose owner is still unknown.
+      std::uint64_t model_version = 0;
+    };
+    std::uint64_t map_version = 0;
+    std::map<std::string, std::string> task_to_aggregator;
+    std::set<std::string> registered_aggregators;
+    std::set<std::string> live_aggregators;
+    std::map<std::string, TaskView> tasks;
+  };
+  Inspection inspect() const;
+
  private:
   struct AggregatorEntry {
     Aggregator* aggregator = nullptr;  // non-owning
@@ -150,10 +180,19 @@ class Coordinator {
     std::string aggregator_id;
     std::int64_t reported_demand = 0;
     std::int64_t pending_assignments = 0;
+    /// Set while the task has no live owner after a total-outage failover:
+    /// the checkpoint pulled off the failed Aggregator, preserved so the
+    /// next placement resumes from the exact pre-failure version.
+    std::optional<Aggregator::TaskCheckpoint> orphan_checkpoint;
   };
 
   /// Least-loaded live aggregator by estimated workload.
   Aggregator* pick_aggregator() PAPAYA_REQUIRES(mutex_);
+
+  /// Re-place orphaned tasks onto live aggregators (called when an
+  /// aggregator registers or a dead one's heartbeat resumes).  Returns the
+  /// number placed; bumps the map version when any were.
+  std::size_t place_orphans() PAPAYA_REQUIRES(mutex_);
 
   /// Guards all Coordinator soft state.  Hierarchy (util/sync.hpp): held
   /// *above* the aggregation locks — placement and failover call into

@@ -61,7 +61,8 @@ std::optional<SecureUploadConfig> SecureBufferManager::next_upload_config() {
   if (next_message_ >= tsa_->initial_messages().size()) return std::nullopt;
   SecureUploadConfig config;
   config.epoch = epoch_;
-  config.initial_message = &tsa_->initial_messages()[next_message_++];
+  config.initial_message = tsa_->initial_messages()[next_message_++];
+  ++configs_handed_;
   config.log_proof = log_.prove_inclusion(binary_leaf_);
   config.expectations.expected_params_hash =
       secagg::SecAggParams{model_size_, goal_}.hash(
@@ -83,7 +84,7 @@ std::optional<SecureReport> SecureBufferManager::prepare_report(
   secagg::SecAggClient client(crypto::DhParams::simulation256(),
                               config.fixed_point, client_seed);
   auto contribution = client.prepare_contribution(
-      platform, config.expectations, *config.initial_message, config.log_proof,
+      platform, config.expectations, config.initial_message, config.log_proof,
       scaled);
   if (!contribution) return std::nullopt;
 
@@ -99,13 +100,19 @@ std::optional<SecureReport> SecureBufferManager::prepare_report(
 SecureSubmitOutcome SecureBufferManager::submit(const SecureReport& report,
                                                 double weight) {
   util::LockGuard lock(mutex_);
-  if (report.epoch != epoch_) return SecureSubmitOutcome::kWrongEpoch;
+  ++submitted_total_;
+  if (report.epoch != epoch_) {
+    ++wrong_epoch_total_;
+    return SecureSubmitOutcome::kWrongEpoch;
+  }
   if (batch_size_ <= 1) {
     const secagg::TsaAccept verdict = session_->accept(report.contribution);
     if (verdict != secagg::TsaAccept::kAccepted) {
+      ++rejected_total_;
       return SecureSubmitOutcome::kTsaRejected;
     }
     ++accepted_;
+    ++accepted_total_;
     weight_sum_ += weight;
     return SecureSubmitOutcome::kAccepted;
   }
@@ -144,9 +151,11 @@ void SecureBufferManager::flush_pending() {
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     if (verdicts[i] == secagg::TsaAccept::kAccepted) {
       ++accepted_;
+      ++accepted_total_;
       weight_sum_ += pending_weights_[i];
     } else {
       ++rejected_unclaimed_;
+      ++rejected_total_;
     }
   }
   pending_.clear();
@@ -172,8 +181,26 @@ std::optional<std::vector<float>> SecureBufferManager::finalize_mean() {
     const auto inv = static_cast<float>(1.0 / weight_sum_);
     for (auto& v : mean) v *= inv;
   }
+  ++epochs_released_;
   rotate_epoch();
   return mean;
+}
+
+SecureBufferManager::Accounting SecureBufferManager::accounting() const {
+  util::LockGuard lock(mutex_);
+  Accounting out;
+  out.submitted = submitted_total_;
+  out.accepted = accepted_total_;
+  out.rejected = rejected_total_;
+  out.wrong_epoch = wrong_epoch_total_;
+  out.pending = pending_.size();
+  out.pending_weight_slots = pending_weights_.size();
+  out.configs_handed = configs_handed_;
+  out.epochs_released = epochs_released_;
+  out.epoch = epoch_;
+  out.accepted_this_epoch = accepted_;
+  out.weight_sum_this_epoch = weight_sum_;
+  return out;
 }
 
 }  // namespace papaya::fl

@@ -31,10 +31,13 @@
 namespace papaya::fl {
 
 /// Everything a client needs to prepare a secure contribution for the
-/// current masking epoch.
+/// current masking epoch.  The initial message is an owned copy, not a
+/// pointer into the TSA: a client may still hold its upload config when a
+/// concurrent finalize rotates the epoch (and frees the old TSA), and the
+/// stale config must then fail cleanly at the epoch check — not dangle.
 struct SecureUploadConfig {
   std::uint64_t epoch = 0;
-  const secagg::TsaInitialMessage* initial_message = nullptr;
+  secagg::TsaInitialMessage initial_message;
   crypto::InclusionProof log_proof;
   secagg::QuoteExpectations expectations;
   secagg::FixedPointParams fixed_point;
@@ -118,6 +121,28 @@ class SecureBufferManager {
   /// see the constructor).  Exposed so tests can pin the policy table.
   std::size_t flush_threshold() const;
 
+  /// Cumulative accounting across every epoch this manager has run, taken
+  /// in one lock hold (test hook: the FSM harness and the SecAgg flood
+  /// suite assert conservation on it).  Invariants it is built to carry:
+  ///   submitted == accepted + rejected + wrong_epoch + pending   (always)
+  ///   pending   == pending_weight_slots                          (always)
+  /// so a sustained malformed flood can neither drift the accepted set nor
+  /// leak buffered slots.
+  struct Accounting {
+    std::uint64_t submitted = 0;    ///< every submit() call
+    std::uint64_t accepted = 0;     ///< TSA-accepted (sequential + flushes)
+    std::uint64_t rejected = 0;     ///< TSA-rejected (sequential + flushes)
+    std::uint64_t wrong_epoch = 0;  ///< bounced at the epoch check
+    std::uint64_t pending = 0;      ///< buffered, verdict not yet decided
+    std::uint64_t pending_weight_slots = 0;  ///< must equal `pending`
+    std::uint64_t configs_handed = 0;   ///< next_upload_config() successes
+    std::uint64_t epochs_released = 0;  ///< successful finalize_mean() calls
+    std::uint64_t epoch = 0;
+    std::uint64_t accepted_this_epoch = 0;
+    double weight_sum_this_epoch = 0.0;
+  };
+  Accounting accounting() const;
+
   /// Unmask, decode, divide by the accumulated weight sum, rotate to a new
   /// epoch.  Returns nullopt if the TSA refuses (below goal).
   std::optional<std::vector<float>> finalize_mean();
@@ -182,6 +207,15 @@ class SecureBufferManager {
   std::size_t next_message_ PAPAYA_GUARDED_BY(mutex_) = 0;
   std::size_t accepted_ PAPAYA_GUARDED_BY(mutex_) = 0;
   double weight_sum_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
+  /// Cumulative accounting (never reset by epoch rotation; see Accounting).
+  /// rejected_total_ is separate from rejected_unclaimed_, which resets on
+  /// take_rejected() and counts only deferred batched verdicts.
+  std::uint64_t submitted_total_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t accepted_total_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_total_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t wrong_epoch_total_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t configs_handed_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t epochs_released_ PAPAYA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace papaya::fl

@@ -98,6 +98,13 @@ class ShardedAggregator {
   /// Hot-path counters summed over shards (max_queue_depth is the max).
   AggStatsSnapshot stats_snapshot() const;
 
+  /// One shard's counters (test hook: the FSM harness asserts per-shard
+  /// update conservation — enqueued == folded, dropped == 0 — after a
+  /// quiesce drain, not just the cross-shard sum).
+  AggStatsSnapshot shard_stats(std::size_t shard) const {
+    return shards_[shard]->stats_snapshot();
+  }
+
  private:
   std::size_t model_size_;
   ConsistentHashRing ring_;

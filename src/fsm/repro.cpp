@@ -1,0 +1,81 @@
+#include "fsm/repro.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace papaya::fsm {
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// The value of `--<key>=` if `arg` matches, else nullopt.
+std::optional<std::string_view> flag_value(std::string_view arg,
+                                           std::string_view key) {
+  if (arg.size() < key.size() + 3) return std::nullopt;
+  if (arg.substr(0, 2) != "--") return std::nullopt;
+  if (arg.substr(2, key.size()) != key) return std::nullopt;
+  if (arg[2 + key.size()] != '=') return std::nullopt;
+  return arg.substr(3 + key.size());
+}
+
+bool truthy(const char* value) {
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+ReproOverrides parse_overrides(int argc, const char* const* argv,
+                               const EnvLookup& env) {
+  ReproOverrides out;
+  if (env) {
+    if (const char* v = env("PAPAYA_FSM_SEED")) out.seed = parse_u64(v);
+    if (const char* v = env("PAPAYA_FSM_STEPS")) out.steps = parse_u64(v);
+    if (const char* v = env("PAPAYA_FSM_WORKLOAD"); v != nullptr && *v != '\0') {
+      out.workload = std::string(v);
+    }
+    out.long_run = truthy(env("PAPAYA_FSM_LONG"));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (const auto v = flag_value(arg, "seed")) out.seed = parse_u64(*v);
+    if (const auto v = flag_value(arg, "steps")) out.steps = parse_u64(*v);
+    if (const auto v = flag_value(arg, "workload")) {
+      out.workload = std::string(*v);
+    }
+    if (arg == "--long") out.long_run = true;
+  }
+  return out;
+}
+
+ReproOverrides& overrides() {
+  static ReproOverrides installed;
+  return installed;
+}
+
+HarnessOptions apply_overrides(HarnessOptions defaults) {
+  const ReproOverrides& o = overrides();
+  if (o.seed) defaults.seed = *o.seed;
+  if (o.steps) {
+    defaults.steps = *o.steps;
+  } else if (o.long_run) {
+    defaults.steps *= 10;
+  }
+  return defaults;
+}
+
+bool workload_selected(const std::string& name) {
+  const ReproOverrides& o = overrides();
+  return !o.workload.has_value() || *o.workload == name;
+}
+
+}  // namespace papaya::fsm

@@ -1,0 +1,50 @@
+#pragma once
+// Seed-replay plumbing for the FSM harness: every failure prints
+// `--seed=S --steps=K --workload=W` (HarnessResult::repro_line), and this
+// header is the receiving end — the test binary accepts those flags (or the
+// PAPAYA_FSM_* environment, for ctest runs where argv is not reachable) and
+// applies them over each test's defaults, so a CI failure replays locally
+// first try:
+//
+//   ./fsm_workload_test --seed=42 --steps=160 --workload=session_churn
+//   PAPAYA_FSM_SEED=42 PAPAYA_FSM_STEPS=160 ctest -R fsm_workload
+//
+// PAPAYA_FSM_LONG=1 (or --long) is the CI soak knob: it multiplies every
+// test's default step count by 10 unless an explicit --steps pins it.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fsm/workload.hpp"
+
+namespace papaya::fsm {
+
+struct ReproOverrides {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> steps;
+  std::optional<std::string> workload;
+  bool long_run = false;
+};
+
+/// Environment lookup, injectable so parsing is unit-testable.
+using EnvLookup = std::function<const char*(const char*)>;
+
+/// Parse `--seed= --steps= --workload= --long` flags plus the PAPAYA_FSM_*
+/// environment.  Flags win over environment.  Unrecognized arguments are
+/// ignored (gtest owns the rest of argv).
+ReproOverrides parse_overrides(int argc, const char* const* argv,
+                               const EnvLookup& env);
+
+/// Process-wide overrides, installed once by the test main().
+ReproOverrides& overrides();
+
+/// Apply the installed overrides to one test's defaults.
+HarnessOptions apply_overrides(HarnessOptions defaults);
+
+/// Workload filtering: true when no --workload/PAPAYA_FSM_WORKLOAD override
+/// is set, or it names `name` (non-matching tests skip themselves).
+bool workload_selected(const std::string& name);
+
+}  // namespace papaya::fsm

@@ -1,0 +1,86 @@
+#include "fsm/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace papaya::fsm {
+
+bool DiurnalWaveScenario::available(std::uint64_t actor, std::uint64_t step,
+                                    util::StreamRng& rng) const {
+  (void)actor;
+  const std::uint64_t period = std::max<std::uint64_t>(1, config_.period_steps);
+  const double phase =
+      static_cast<double>(step % period) / static_cast<double>(period);
+  const double wave = 0.5 * (1.0 + std::sin(2.0 * M_PI * phase));
+  const double prob =
+      config_.min_availability +
+      (config_.max_availability - config_.min_availability) * wave;
+  return rng.bernoulli(prob);
+}
+
+bool PartitionScenario::partitioned(std::size_t node,
+                                    std::uint64_t step) const {
+  if (step < config_.begin_step || step >= config_.end_step) return false;
+  return std::find(config_.nodes.begin(), config_.nodes.end(), node) !=
+         config_.nodes.end();
+}
+
+void StragglerStormScenario::perturb(std::uint64_t actor,
+                                     std::uint64_t step) const {
+  if (step < config_.begin_step || step >= config_.end_step) return;
+  const std::uint64_t k = std::max<std::uint64_t>(1, config_.every_kth_actor);
+  if (actor % k != 0) return;
+  for (unsigned i = 0; i < config_.yields; ++i) std::this_thread::yield();
+}
+
+bool ByzantineFloodScenario::byzantine(std::uint64_t actor, std::uint64_t step,
+                                       util::StreamRng& rng) const {
+  (void)actor;
+  if (step < config_.begin_step || step >= config_.end_step) return false;
+  return rng.bernoulli(config_.probability);
+}
+
+std::string ComposedScenario::name() const {
+  std::string out;
+  for (const Scenario* layer : layers_) {
+    if (!out.empty()) out += "+";
+    out += layer->name();
+  }
+  return out.empty() ? "none" : out;
+}
+
+bool ComposedScenario::available(std::uint64_t actor, std::uint64_t step,
+                                 util::StreamRng& rng) const {
+  bool ok = true;
+  for (const Scenario* layer : layers_) {
+    // No short-circuit: every layer consumes its draws on every check so the
+    // scenario stream stays aligned across runs.
+    const bool layer_ok = layer->available(actor, step, rng);
+    ok = ok && layer_ok;
+  }
+  return ok;
+}
+
+bool ComposedScenario::partitioned(std::size_t node, std::uint64_t step) const {
+  for (const Scenario* layer : layers_) {
+    if (layer->partitioned(node, step)) return true;
+  }
+  return false;
+}
+
+bool ComposedScenario::byzantine(std::uint64_t actor, std::uint64_t step,
+                                 util::StreamRng& rng) const {
+  bool any = false;
+  for (const Scenario* layer : layers_) {
+    const bool layer_byzantine = layer->byzantine(actor, step, rng);
+    any = any || layer_byzantine;
+  }
+  return any;
+}
+
+void ComposedScenario::perturb(std::uint64_t actor, std::uint64_t step) const {
+  for (const Scenario* layer : layers_) layer->perturb(actor, step);
+}
+
+}  // namespace papaya::fsm

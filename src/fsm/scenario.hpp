@@ -1,0 +1,179 @@
+#pragma once
+// Scenario injection for the FSM workload harness (fsm/workload.hpp).
+//
+// A Scenario perturbs a running workload without the workload knowing: it
+// gates actor availability (diurnal waves), cuts nodes off (partitions),
+// deschedules victim actors (straggler storms), and flips actors byzantine
+// (malformed-contribution floods).  Scenarios are layered *onto* workloads —
+// any scenario composes with any workload, and ComposedScenario stacks
+// several at once.
+//
+// Determinism contract (the harness's byte-identical-replay guarantee leans
+// on it): for a fixed configuration, the number of draws a scenario consumes
+// from the per-actor scenario stream must be a pure function of (actor,
+// step, current state) — never of wall-clock time, thread interleaving, or
+// shared mutable state.  available() is called exactly once per (actor,
+// step); byzantine() only from state actions, whose sequence is itself
+// deterministic.  perturb() must not draw at all: it may only waste time
+// (yield/spin), so removing it never shifts a stream.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace papaya::fsm {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Is `actor` willing to act at `step`?  Unavailable steps are logged as
+  /// idle ("-") and consume no action draw.
+  virtual bool available(std::uint64_t actor, std::uint64_t step,
+                         util::StreamRng& rng) const {
+    (void)actor;
+    (void)step;
+    (void)rng;
+    return true;
+  }
+
+  /// Is `node` (a workload-defined index: aggregator, shard, ...) cut off
+  /// from the cluster at `step`?  Pure — no draws.
+  virtual bool partitioned(std::size_t node, std::uint64_t step) const {
+    (void)node;
+    (void)step;
+    return false;
+  }
+
+  /// Should `actor` behave byzantine (submit malformed contributions) at
+  /// `step`?
+  virtual bool byzantine(std::uint64_t actor, std::uint64_t step,
+                         util::StreamRng& rng) const {
+    (void)actor;
+    (void)step;
+    (void)rng;
+    return false;
+  }
+
+  /// Scheduling perturbation before the step runs (yields, busy-waits).
+  /// Must not touch any harness stream.
+  virtual void perturb(std::uint64_t actor, std::uint64_t step) const {
+    (void)actor;
+    (void)step;
+  }
+};
+
+/// No injection: every actor available, honest, connected.
+class NullScenario final : public Scenario {
+ public:
+  std::string name() const override { return "none"; }
+};
+
+/// Sinusoidal availability wave: the paper's diurnal device population,
+/// compressed to `period_steps`.  Consumes exactly one draw per
+/// availability check.
+class DiurnalWaveScenario final : public Scenario {
+ public:
+  struct Config {
+    std::uint64_t period_steps = 64;
+    double min_availability = 0.2;
+    double max_availability = 1.0;
+  };
+
+  explicit DiurnalWaveScenario(Config config) : config_(config) {}
+
+  std::string name() const override { return "diurnal_wave"; }
+  bool available(std::uint64_t actor, std::uint64_t step,
+                 util::StreamRng& rng) const override;
+
+ private:
+  Config config_;
+};
+
+/// Network partition: `nodes` are unreachable for steps in [begin, end).
+/// Which side of the partition a node call sits on is the workload's
+/// interpretation (e.g. "skip heartbeats for partitioned aggregators").
+class PartitionScenario final : public Scenario {
+ public:
+  struct Config {
+    std::uint64_t begin_step = 0;
+    std::uint64_t end_step = 0;
+    std::vector<std::size_t> nodes;
+  };
+
+  explicit PartitionScenario(Config config) : config_(std::move(config)) {}
+
+  std::string name() const override { return "partition"; }
+  bool partitioned(std::size_t node, std::uint64_t step) const override;
+
+ private:
+  Config config_;
+};
+
+/// Straggler storm: every `every_kth_actor`-th actor repeatedly yields the
+/// CPU inside [begin, end), stretching its steps across everyone else's and
+/// shaking out interleavings a fair scheduler would rarely produce.
+class StragglerStormScenario final : public Scenario {
+ public:
+  struct Config {
+    std::uint64_t begin_step = 0;
+    std::uint64_t end_step = 0;
+    std::uint64_t every_kth_actor = 2;
+    unsigned yields = 16;
+  };
+
+  explicit StragglerStormScenario(Config config) : config_(config) {}
+
+  std::string name() const override { return "straggler_storm"; }
+  void perturb(std::uint64_t actor, std::uint64_t step) const override;
+
+ private:
+  Config config_;
+};
+
+/// Sustained byzantine flood: inside [begin, end) each byzantine() check
+/// flips malformed with `probability`.  Draws only inside the window, so the
+/// draw count stays a pure function of the step.
+class ByzantineFloodScenario final : public Scenario {
+ public:
+  struct Config {
+    std::uint64_t begin_step = 0;
+    std::uint64_t end_step = ~0ULL;
+    double probability = 0.5;
+  };
+
+  explicit ByzantineFloodScenario(Config config) : config_(config) {}
+
+  std::string name() const override { return "byzantine_flood"; }
+  bool byzantine(std::uint64_t actor, std::uint64_t step,
+                 util::StreamRng& rng) const override;
+
+ private:
+  Config config_;
+};
+
+/// Stack several scenarios: available iff *all* say available (every layer
+/// still consumes its draws — no short-circuiting, or replay would shift),
+/// partitioned/byzantine iff *any* says so, perturb runs all.
+class ComposedScenario final : public Scenario {
+ public:
+  explicit ComposedScenario(std::vector<const Scenario*> layers)
+      : layers_(std::move(layers)) {}
+
+  std::string name() const override;
+  bool available(std::uint64_t actor, std::uint64_t step,
+                 util::StreamRng& rng) const override;
+  bool partitioned(std::size_t node, std::uint64_t step) const override;
+  bool byzantine(std::uint64_t actor, std::uint64_t step,
+                 util::StreamRng& rng) const override;
+  void perturb(std::uint64_t actor, std::uint64_t step) const override;
+
+ private:
+  std::vector<const Scenario*> layers_;
+};
+
+}  // namespace papaya::fsm

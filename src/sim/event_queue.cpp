@@ -1,35 +1,64 @@
 #include "sim/event_queue.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace papaya::sim {
 
 void EventQueue::schedule_at(double when, EventFn fn) {
-  if (when < now_) {
-    throw std::invalid_argument("EventQueue: cannot schedule in the past");
-  }
-  heap_.push({when, next_seq_++, std::move(fn)});
+  schedule_at(when, /*tie_key=*/0, std::move(fn));
 }
 
 void EventQueue::schedule_in(double delay, EventFn fn) {
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_in(delay, /*tie_key=*/0, std::move(fn));
+}
+
+void EventQueue::schedule_at(double when, std::uint64_t tie_key, EventFn fn) {
+  util::LockGuard lock(mutex_);
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push({when, tie_key, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, std::uint64_t tie_key, EventFn fn) {
+  util::LockGuard lock(mutex_);
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push({now_ + delay, tie_key, next_seq_++, std::move(fn)});
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  Event event = heap_.top();
-  heap_.pop();
-  now_ = event.time;
-  event.fn(now_);
+  EventFn fn;
+  double time;
+  {
+    util::LockGuard lock(mutex_);
+    if (heap_.empty()) return false;
+    // The event runs outside the lock (it may schedule more events), so it
+    // is moved out first; top() is const-ref only because mutating it would
+    // break the heap order, which pop() discards anyway.
+    fn = std::move(const_cast<Event&>(heap_.top()).fn);
+    time = heap_.top().time;
+    heap_.pop();
+    now_ = time;
+  }
+  fn(time);
   return true;
 }
 
 void EventQueue::run_until(double until, const std::function<bool()>& stop) {
-  while (!heap_.empty() && heap_.top().time <= until) {
+  for (;;) {
+    {
+      util::LockGuard lock(mutex_);
+      if (heap_.empty() || heap_.top().time > until) break;
+    }
     if (stop && stop()) return;
     step();
   }
-  if (now_ < until && (!stop || !stop())) now_ = until;
+  if (stop && stop()) return;
+  util::LockGuard lock(mutex_);
+  if (now_ < until) now_ = until;
 }
 
 }  // namespace papaya::sim

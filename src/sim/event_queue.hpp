@@ -5,11 +5,30 @@
 // target loss, server updates per hour) are measured on this clock, so the
 // comparisons between SyncFL and AsyncFL are ratios within one consistent
 // time base (DESIGN.md substitution table).
+//
+// Pop order is a documented *total* order: (time, tie_key, seq), ascending.
+// `seq` is the per-queue arrival number, so same-time same-key events pop
+// FIFO — the historical behaviour, unchanged for every caller of the
+// two-argument schedule_at/schedule_in (tie_key 0).  Arrival order is only
+// well-defined within one thread, though: when several threads schedule
+// equal-time events concurrently, their seq interleaving is a race, and
+// before the tie key existed the pop order was too.  Schedulers that need a
+// schedule-independent order pass an explicit `tie_key` (an entity id, an
+// actor index) and the pop order at that timestamp becomes a pure function
+// of the keys.
+//
+// Thread safety: schedule_at/schedule_in and the inspectors may be called
+// concurrently from any thread (internal lock, an independent root in the
+// util/sync.hpp hierarchy — held only around heap bookkeeping, never while
+// an event function runs).  step()/run_until() are single-driver: exactly
+// one thread may pump the queue, as event functions run outside the lock.
 
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace papaya::sim {
 
@@ -22,9 +41,23 @@ class EventQueue {
   /// Schedule `fn` after `delay` seconds.
   void schedule_in(double delay, EventFn fn);
 
-  double now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  /// Same, with an explicit tie key: equal-time events pop in ascending
+  /// `tie_key` order regardless of which thread scheduled them first.
+  void schedule_at(double when, std::uint64_t tie_key, EventFn fn);
+  void schedule_in(double delay, std::uint64_t tie_key, EventFn fn);
+
+  double now() const {
+    util::LockGuard lock(mutex_);
+    return now_;
+  }
+  bool empty() const {
+    util::LockGuard lock(mutex_);
+    return heap_.empty();
+  }
+  std::size_t pending() const {
+    util::LockGuard lock(mutex_);
+    return heap_.size();
+  }
 
   /// Pop and run the next event.  Returns false when the queue is empty.
   bool step();
@@ -36,19 +69,23 @@ class EventQueue {
  private:
   struct Event {
     double time;
-    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    std::uint64_t tie_key;  // caller-chosen order among simultaneous events
+    std::uint64_t seq;      // arrival FIFO, the final tie-break
     EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.tie_key != b.tie_key) return a.tie_key > b.tie_key;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mutex_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_
+      PAPAYA_GUARDED_BY(mutex_);
+  double now_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t next_seq_ PAPAYA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace papaya::sim

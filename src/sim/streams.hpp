@@ -38,6 +38,11 @@ enum class StreamPurpose : std::uint64_t {
   kDropout = 6,         ///< dropout Bernoulli + mid-training dropout point
   kTraining = 7,        ///< local-SGD shuffle stream (seed derivation)
   kRouting = 8,         ///< Selector choice when routing to the task owner
+  // FSM workload harness (src/fsm/): one triple per harness actor, so a
+  // failure replays from (seed, actor, step) alone.
+  kFsmAction = 9,    ///< per-step transition choice in fsm::run_workload
+  kFsmPayload = 10,  ///< state-action draws (weights, deltas, picks)
+  kFsmScenario = 11, ///< scenario injection (availability, byzantine flips)
 };
 
 enum class RngStreamMode {
@@ -109,12 +114,21 @@ class SimStreams {
 
   /// The dedicated stream for (entity, purpose).  Per-entity mode only;
   /// lazily materialized, so idle entities cost nothing.
+  ///
+  /// NOT thread-safe: materialization inserts into an unordered_map.
+  /// Concurrent users (the FSM harness) must call stream() for every
+  /// (entity, purpose) they will touch *before* going parallel — returned
+  /// references stay stable once no further inserts happen.
   util::StreamRng& stream(std::uint64_t entity, StreamPurpose purpose) {
     const std::uint64_t key = util::StreamRng::derive_key(
         root_, entity, static_cast<std::uint64_t>(purpose));
     auto [it, inserted] = streams_.try_emplace(key, util::StreamRng(key));
     return it->second;
   }
+
+  /// Streams materialized so far (test hook: the FSM harness asserts its
+  /// pre-materialization discipline against it).
+  std::size_t materialized_streams() const { return streams_.size(); }
 
  private:
   RngStreamMode mode_;

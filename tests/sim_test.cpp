@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "sim/event_queue.hpp"
 #include "sim/fl_simulator.hpp"
@@ -101,6 +102,54 @@ TEST(EventQueue, FifoHoldsWhenSimultaneousEventsScheduleMore) {
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
   EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, TieKeyOrdersEqualTimeEventsBeforeArrival) {
+  // The documented total order is (time, tie_key, seq): at one timestamp,
+  // tie keys sort before arrival order.
+  EventQueue q;
+  std::vector<int> order;
+  for (int key = 4; key >= 0; --key) {
+    q.schedule_at(1.0, static_cast<std::uint64_t>(key),
+                  [&order, key](double) { order.push_back(key); });
+  }
+  q.schedule_in(1.0, 5, [&order](double) { order.push_back(5); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, EqualTimePopOrderIsScheduleRaceIndependent) {
+  // Regression: equal-time events scheduled concurrently from different
+  // threads used to pop in seq order — i.e. in whatever order the two
+  // threads won the scheduling race, a different order every run.  With
+  // explicit tie keys the pop order at a timestamp is a pure function of
+  // the keys, whatever the arrival interleaving was.
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    constexpr int kPerThread = 16;
+    std::vector<int> order;
+    // The recording lambdas only run in the single-threaded pump below, so
+    // capturing `order` from both scheduling threads is race-free.
+    auto schedule_keys = [&](int first_key) {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int key = first_key + 2 * i;
+        q.schedule_at(1.0, static_cast<std::uint64_t>(key),
+                      [&order, key](double) { order.push_back(key); });
+      }
+    };
+    std::thread even([&] { schedule_keys(0); });
+    std::thread odd([&] { schedule_keys(1); });
+    even.join();
+    odd.join();
+    while (q.step()) {
+    }
+    std::vector<int> expected(2 * kPerThread);
+    for (int i = 0; i < 2 * kPerThread; ++i) {
+      expected[static_cast<std::size_t>(i)] = i;
+    }
+    ASSERT_EQ(order, expected) << "trial " << trial;
+  }
 }
 
 TEST(EventQueue, ScheduleAtNowIsLegalAndRunsThisInstant) {
