@@ -1,0 +1,110 @@
+// Macro-scale population sweep: fig8-class AsyncFL simulations at 10^4 to
+// 10^6 virtual devices on one core, using the million-device recipe —
+// lazy keyed device materialization (no per-device profile storage), the
+// amortized-O(1) calendar event queue, dense per-entity stream counters,
+// and streaming metrics (no raw record retention).
+//
+// Reported per row: wall-clock seconds, discrete events pumped, events/sec
+// (the queue-throughput headline), server steps, and simulated end time.
+// After the sweep the process's peak RSS is printed as a greppable
+//   peak_rss_mb=<n>
+// line — the acceptance artifact that a 1M-device run fits a small box.
+//
+// PAPAYA_MACRO_QUICK=1 runs only a shortened 1M-device row (the CI smoke).
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace papaya;
+using namespace papaya::bench;
+
+struct Row {
+  std::size_t devices;
+  double checkin_interval_s;
+  std::uint64_t server_steps;
+};
+
+sim::SimulationConfig macro_config(const Row& row) {
+  sim::SimulationConfig cfg = base_config(7);
+  cfg.task.mode = fl::TrainingMode::kAsync;
+  cfg.task.concurrency = 104;
+  cfg.task.aggregation_goal = 13;
+  cfg.population.num_devices = row.devices;
+  cfg.population.synthesis = sim::ProfileSynthesis::kKeyedLazy;
+  cfg.event_queue = sim::EventQueueBackend::kCalendar;
+  cfg.rng_streams = sim::RngStreamMode::kPerEntity;
+  cfg.mean_checkin_interval_s = row.checkin_interval_s;
+  cfg.max_server_steps = row.server_steps;
+  cfg.max_sim_time_s = 1.0e7;
+  cfg.eval_every_steps = row.server_steps;  // evaluate once, at the end
+  cfg.record_participations = false;
+  cfg.metrics.max_timeseries_points = 256;
+  return cfg;
+}
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+void run_row(const Row& row) {
+  sim::FlSimulator simulator(macro_config(row));
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = simulator.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "row devices=%zu checkin_s=%.0f wall_s=%.2f events=%llu "
+      "events_per_s=%.0f server_steps=%llu sim_end_s=%.0f "
+      "participations=%llu rss_mb=%.0f\n",
+      row.devices, row.checkin_interval_s, wall_s,
+      static_cast<unsigned long long>(result.events_processed),
+      static_cast<double>(result.events_processed) / wall_s,
+      static_cast<unsigned long long>(result.server_steps), result.end_time_s,
+      static_cast<unsigned long long>(result.summary.records), peak_rss_mb());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Macro population sweep: AsyncFL (K=13, concurrency 104) at scale");
+  std::printf(
+      "(lazy keyed population + calendar event queue + dense stream "
+      "counters + streaming metrics)\n\n");
+
+  const bool quick = std::getenv("PAPAYA_MACRO_QUICK") != nullptr;
+  std::vector<Row> rows;
+  if (quick) {
+    // CI smoke: prove the 1M-device path end to end, minimal steps.
+    rows.push_back({1'000'000, 60.0, 5});
+  } else {
+    // Device axis at a fixed check-in load, then an event-rate axis at 1M
+    // (halving the mean check-in interval doubles offered events/sec).
+    rows.push_back({10'000, 60.0, 30});
+    rows.push_back({100'000, 60.0, 30});
+    rows.push_back({1'000'000, 120.0, 30});
+    rows.push_back({1'000'000, 60.0, 30});
+  }
+  for (const Row& row : rows) run_row(row);
+
+  std::printf("\npeak_rss_mb=%.0f\n", peak_rss_mb());
+  std::printf(
+      "Expected shape: events/sec stays flat as the device count grows 100x\n"
+      "(calendar queue pops are O(1), device state is O(bytes) per device);\n"
+      "peak RSS stays far below what 10^6 eager DeviceProfile + heap-queue\n"
+      "state would need.\n");
+  return 0;
+}

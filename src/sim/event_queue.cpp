@@ -1,9 +1,189 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace papaya::sim {
+namespace {
+
+// Ring sizing: never below kMinBuckets (tiny queues stay tiny), never above
+// kMaxBuckets (a pathological width estimate must not allocate the world).
+constexpr std::size_t kMinBuckets = 8;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventQueueBackend event_queue_backend_from_env(EventQueueBackend fallback) {
+  const char* env = std::getenv("PAPAYA_EVENT_QUEUE");
+  if (env == nullptr || *env == '\0') return fallback;
+  if (std::strcmp(env, "heap") == 0) return EventQueueBackend::kHeap;
+  if (std::strcmp(env, "calendar") == 0) return EventQueueBackend::kCalendar;
+  throw std::invalid_argument(
+      std::string("PAPAYA_EVENT_QUEUE: unknown backend '") + env +
+      "' (expected 'heap' or 'calendar')");
+}
+
+EventQueue::EventQueue()
+    : EventQueue(event_queue_backend_from_env(EventQueueBackend::kHeap)) {}
+
+// The explicit ctor honours the requested backend verbatim — no env
+// override.  The env knob acts at the config layer (normalize_config) and
+// on default construction; code that names a backend explicitly (the
+// heap/calendar differential tests, the FSM churn workload) must get
+// exactly that backend or the comparisons it makes become vacuous.
+EventQueue::EventQueue(EventQueueBackend backend) : backend_(backend) {}
+
+// ---------------------------------------------------------------------------
+// Calendar backend
+// ---------------------------------------------------------------------------
+
+EventQueue::Calendar::Calendar() : buckets_(kMinBuckets) {}
+
+std::uint64_t EventQueue::Calendar::virtual_bucket(double time) const {
+  // One shared expression for push and the sparse jump so an event's home
+  // bucket is computed identically everywhere (floating-point division must
+  // not disagree with itself).
+  return static_cast<std::uint64_t>(time / width_);
+}
+
+void EventQueue::Calendar::insert_sorted(std::vector<Event>& bucket, Event e) {
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), e,
+      [](const Event& a, const Event& b) { return earlier(a, b); });
+  bucket.insert(pos, std::move(e));
+}
+
+void EventQueue::Calendar::push(Event e) {
+  const std::uint64_t v = virtual_bucket(e.time);
+  insert_sorted(buckets_[v % buckets_.size()], std::move(e));
+  ++size_;
+  if (size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    rebuild(size_);
+  }
+}
+
+std::size_t EventQueue::Calendar::locate_min() {
+  // Scan one "year" forward from the cursor.  An event qualifies when the
+  // scanned virtual bucket is its home bucket — the same time/width
+  // expression push used, so floating-point rounding at bucket edges can
+  // never disagree with insertion.  Because every queued time is >= the
+  // last popped time (schedule_at enforces when >= now) and virtual_bucket
+  // is monotone in time, the first qualifying event is the global minimum
+  // under the full (time, tie_key, seq) order: bucket fronts are bucket
+  // minima, and any earlier-timed event would live in an earlier-or-equal
+  // virtual bucket already scanned.
+  const std::size_t n = buckets_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = cursor_ + i;
+    const std::vector<Event>& bucket = buckets_[v % n];
+    if (!bucket.empty() && virtual_bucket(bucket.front().time) == v) {
+      cursor_ = v;
+      return v % n;
+    }
+  }
+  // Sparse year: nothing within a full ring revolution.  Fall back to a
+  // direct min over bucket fronts and jump the cursor to its bucket — the
+  // classic calendar-queue "empty year" escape hatch.
+  std::size_t best = n;  // sentinel
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets_[i].empty()) continue;
+    if (best == n || earlier(buckets_[i].front(), buckets_[best].front())) {
+      best = i;
+    }
+  }
+  cursor_ = virtual_bucket(buckets_[best].front().time);
+  return best;
+}
+
+double EventQueue::Calendar::min_time() {
+  return buckets_[locate_min()].front().time;
+}
+
+EventQueue::Event EventQueue::Calendar::pop_min() {
+  std::vector<Event>& bucket = buckets_[locate_min()];
+  Event e = std::move(bucket.front());
+  bucket.erase(bucket.begin());
+  --size_;
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4) {
+    rebuild(kMinBuckets);
+  }
+  return e;
+}
+
+void EventQueue::Calendar::rebuild(std::size_t min_buckets) {
+  std::vector<Event> all;
+  all.reserve(size_);
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (std::vector<Event>& bucket : buckets_) {
+    for (Event& e : bucket) {
+      if (first || e.time < lo) lo = e.time;
+      if (first || e.time > hi) hi = e.time;
+      first = false;
+      all.push_back(std::move(e));
+    }
+  }
+  // Bucket width ~ 2x the mean inter-event gap (Brown's heuristic): the
+  // year scan then lands on a non-empty qualifying bucket within O(1)
+  // probes on average.  Clamped below so (a) a degenerate span (all events
+  // simultaneous) keeps a sane width and (b) time/width stays far from
+  // uint64 overflow for any simulated horizon.
+  double width = 1.0;
+  if (all.size() > 1 && hi > lo) {
+    width = 2.0 * (hi - lo) / static_cast<double>(all.size());
+  }
+  width_ = std::max({width, 1e-9, hi * 0x1p-40});
+  const std::size_t n = std::min(
+      kMaxBuckets, next_pow2(std::max(min_buckets, kMinBuckets)));
+  buckets_.assign(n, {});
+  for (Event& e : all) {
+    insert_sorted(buckets_[virtual_bucket(e.time) % n], std::move(e));
+  }
+  // Re-anchor the cursor at the priority floor: every live event has
+  // time >= the last popped time, so no event can hide behind it.
+  cursor_ = first ? 0 : virtual_bucket(std::max(lo, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+void EventQueue::push_locked(Event e) {
+  if (backend_ == EventQueueBackend::kHeap) {
+    heap_.push(std::move(e));
+  } else {
+    calendar_.push(std::move(e));
+  }
+}
+
+EventQueue::Event EventQueue::pop_locked() {
+  if (backend_ == EventQueueBackend::kHeap) {
+    // The event runs outside the lock (it may schedule more events), so it
+    // is moved out first; top() is const-ref only because mutating it would
+    // break the heap order, which pop() discards anyway.
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    return e;
+  }
+  return calendar_.pop_min();
+}
+
+double EventQueue::top_time_locked() {
+  return backend_ == EventQueueBackend::kHeap ? heap_.top().time
+                                              : calendar_.min_time();
+}
 
 void EventQueue::schedule_at(double when, EventFn fn) {
   schedule_at(when, /*tie_key=*/0, std::move(fn));
@@ -18,7 +198,7 @@ void EventQueue::schedule_at(double when, std::uint64_t tie_key, EventFn fn) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue: cannot schedule in the past");
   }
-  heap_.push({when, tie_key, next_seq_++, std::move(fn)});
+  push_locked({when, tie_key, next_seq_++, std::move(fn)});
 }
 
 void EventQueue::schedule_in(double delay, std::uint64_t tie_key, EventFn fn) {
@@ -26,7 +206,7 @@ void EventQueue::schedule_in(double delay, std::uint64_t tie_key, EventFn fn) {
   if (delay < 0.0) {
     throw std::invalid_argument("EventQueue: cannot schedule in the past");
   }
-  heap_.push({now_ + delay, tie_key, next_seq_++, std::move(fn)});
+  push_locked({now_ + delay, tie_key, next_seq_++, std::move(fn)});
 }
 
 bool EventQueue::step() {
@@ -34,14 +214,12 @@ bool EventQueue::step() {
   double time;
   {
     util::LockGuard lock(mutex_);
-    if (heap_.empty()) return false;
-    // The event runs outside the lock (it may schedule more events), so it
-    // is moved out first; top() is const-ref only because mutating it would
-    // break the heap order, which pop() discards anyway.
-    fn = std::move(const_cast<Event&>(heap_.top()).fn);
-    time = heap_.top().time;
-    heap_.pop();
+    if (size_locked() == 0) return false;
+    Event e = pop_locked();
+    fn = std::move(e.fn);
+    time = e.time;
     now_ = time;
+    ++processed_;
   }
   fn(time);
   return true;
@@ -51,7 +229,7 @@ void EventQueue::run_until(double until, const std::function<bool()>& stop) {
   for (;;) {
     {
       util::LockGuard lock(mutex_);
-      if (heap_.empty() || heap_.top().time > until) break;
+      if (size_locked() == 0 || top_time_locked() > until) break;
     }
     if (stop && stop()) return;
     step();

@@ -17,9 +17,35 @@
 // actor index) and the pop order at that timestamp becomes a pure function
 // of the keys.
 //
+// Two backends implement that contract behind the same API:
+//
+//   kHeap      std::priority_queue.  O(log n) per op; the historical
+//              default and the reference for the differential tests.
+//   kCalendar  calendar queue (Brown, CACM 1988).  Amortized O(1) per op:
+//              a power-of-two ring of buckets each spanning `width` seconds
+//              of virtual time; push drops an event into bucket
+//              floor(time/width) mod N, pop scans forward from the current
+//              bucket and accepts the first event inside the bucket's
+//              current "year" window.  The ring doubles/halves (rebuilding
+//              width from the live event span) when the event count crosses
+//              2N / N/4, so bucket occupancy stays O(1).  Because
+//              schedule_at enforces when >= now(), equal-time events always
+//              share a bucket and each bucket is kept sorted by the full
+//              (time, tie_key, seq) order — pop order is *identical* to the
+//              heap's, event for event (proven by differential tests and
+//              the end-to-end trajectory equality in tests/scale_test.cpp).
+//
+// The backend is chosen per queue at construction.  The PAPAYA_EVENT_QUEUE
+// environment variable ("heap" / "calendar") overrides the *default*: it is
+// consulted by the default ctor and by FlSimulator's config normalization,
+// so whole test suites and benches can be rerun on the calendar backend
+// without an edit.  The explicit EventQueue(backend) ctor honours its
+// argument verbatim — differential tests that pin both backends must mean
+// what they say even under the env knob.
+//
 // Thread safety: schedule_at/schedule_in and the inspectors may be called
 // concurrently from any thread (internal lock, an independent root in the
-// util/sync.hpp hierarchy — held only around heap bookkeeping, never while
+// util/sync.hpp hierarchy — held only around queue bookkeeping, never while
 // an event function runs).  step()/run_until() are single-driver: exactly
 // one thread may pump the queue, as event functions run outside the lock.
 
@@ -34,11 +60,31 @@ namespace papaya::sim {
 
 using EventFn = std::function<void(double now)>;
 
+enum class EventQueueBackend {
+  kHeap,      ///< std::priority_queue, O(log n) — historical default
+  kCalendar,  ///< calendar queue, amortized O(1) — million-device runs
+};
+
+/// Resolve the backend: PAPAYA_EVENT_QUEUE=heap|calendar wins when set
+/// (anything else throws — a typo must not silently fall back), otherwise
+/// `fallback` is returned unchanged.
+EventQueueBackend event_queue_backend_from_env(EventQueueBackend fallback);
+
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  /// Default: heap unless PAPAYA_EVENT_QUEUE overrides.
+  EventQueue();
+  explicit EventQueue(EventQueueBackend backend);
+
+  EventQueueBackend backend() const { return backend_; }
+
+  /// Schedule `fn` at absolute time `when`.  `when < now()` throws
+  /// std::invalid_argument on every backend: a past timestamp would pop
+  /// "before" the current time and silently corrupt clock monotonicity
+  /// (and the calendar backend's bucket-window math additionally relies on
+  /// queued times never preceding the last pop).
   void schedule_at(double when, EventFn fn);
-  /// Schedule `fn` after `delay` seconds.
+  /// Schedule `fn` after `delay` seconds (negative delay throws).
   void schedule_in(double delay, EventFn fn);
 
   /// Same, with an explicit tie key: equal-time events pop in ascending
@@ -52,11 +98,17 @@ class EventQueue {
   }
   bool empty() const {
     util::LockGuard lock(mutex_);
-    return heap_.empty();
+    return size_locked() == 0;
   }
   std::size_t pending() const {
     util::LockGuard lock(mutex_);
-    return heap_.size();
+    return size_locked();
+  }
+  /// Events popped (run) so far — the denominator for events/sec reporting
+  /// in bench_macro_population.
+  std::uint64_t events_processed() const {
+    util::LockGuard lock(mutex_);
+    return processed_;
   }
 
   /// Pop and run the next event.  Returns false when the queue is empty.
@@ -73,19 +125,60 @@ class EventQueue {
     std::uint64_t seq;      // arrival FIFO, the final tie-break
     EventFn fn;
   };
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.tie_key != b.tie_key) return a.tie_key < b.tie_key;
+    return a.seq < b.seq;
+  }
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.tie_key != b.tie_key) return a.tie_key > b.tie_key;
-      return a.seq > b.seq;
+      return earlier(b, a);
     }
   };
 
+  /// Brown's calendar queue.  Not internally locked — EventQueue's mutex
+  /// covers it.  Each bucket is a vector kept ascending by the full event
+  /// order, so bucket fronts are bucket minima and the year scan yields the
+  /// exact global order.
+  class Calendar {
+   public:
+    Calendar();
+    void push(Event e);
+    Event pop_min();  ///< requires !empty()
+    /// Time of the minimum event (requires !empty()).  Advances the scan
+    /// cursor to the minimum's bucket, so the pop that follows is O(1).
+    double min_time();
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+   private:
+    std::uint64_t virtual_bucket(double time) const;
+    std::size_t locate_min();  ///< ring index of the min's bucket
+    void insert_sorted(std::vector<Event>& bucket, Event e);
+    void rebuild(std::size_t min_buckets);
+
+    std::vector<std::vector<Event>> buckets_;
+    double width_ = 1.0;            ///< seconds of virtual time per bucket
+    std::uint64_t cursor_ = 0;      ///< virtual bucket of the last pop
+    std::size_t size_ = 0;
+  };
+
+  std::size_t size_locked() const PAPAYA_REQUIRES(mutex_) {
+    return backend_ == EventQueueBackend::kHeap ? heap_.size()
+                                                : calendar_.size();
+  }
+  void push_locked(Event e) PAPAYA_REQUIRES(mutex_);
+  Event pop_locked() PAPAYA_REQUIRES(mutex_);
+  double top_time_locked() PAPAYA_REQUIRES(mutex_);  ///< requires non-empty
+
+  const EventQueueBackend backend_;
   mutable util::Mutex mutex_;
   std::priority_queue<Event, std::vector<Event>, Later> heap_
       PAPAYA_GUARDED_BY(mutex_);
+  Calendar calendar_ PAPAYA_GUARDED_BY(mutex_);
   double now_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t next_seq_ PAPAYA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t processed_ PAPAYA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace papaya::sim

@@ -28,6 +28,9 @@ SimulationConfig normalize_config(SimulationConfig cfg) {
     cfg.task.pipelined_clients = true;
     cfg.rng_streams = RngStreamMode::kPerEntity;
   }
+  // Resolve the event-queue backend once, here, so config_.event_queue and
+  // the queue actually constructed always agree (PAPAYA_EVENT_QUEUE wins).
+  cfg.event_queue = event_queue_backend_from_env(cfg.event_queue);
   return cfg;
 }
 
@@ -35,7 +38,9 @@ SimulationConfig normalize_config(SimulationConfig cfg) {
 
 FlSimulator::FlSimulator(SimulationConfig config)
     : config_(normalize_config(std::move(config))),
-      streams_(config_.seed, config_.rng_streams) {
+      streams_(config_.seed, config_.rng_streams,
+               /*dense_entities=*/config_.population.num_devices),
+      queue_(config_.event_queue) {
   corpus_ = std::make_unique<ml::FederatedCorpus>(config_.corpus, config_.seed);
   population_ = std::make_unique<DevicePopulation>(config_.population);
   network_ = std::make_unique<NetworkModel>(config_.network);
@@ -90,7 +95,16 @@ FlSimulator::FlSimulator(SimulationConfig config)
     selectors_.back()->refresh(*coordinator_);
   }
 
-  devices_.resize(population_->size());
+  generations_.assign(population_->size(), 0);
+  part_slot_.assign(population_->size(), kNoParticipation);
+  metrics_rng_ = util::StreamRng(
+      config_.seed, SimStreams::kServerEntity,
+      static_cast<std::uint64_t>(StreamPurpose::kMetricsSampling));
+  if (config_.metrics.max_timeseries_points > 0) {
+    result_.loss_curve.set_capacity(config_.metrics.max_timeseries_points);
+    result_.active_clients.set_capacity(config_.metrics.max_timeseries_points);
+    result_.busy_clients.set_capacity(config_.metrics.max_timeseries_points);
+  }
 }
 
 FlSimulator::~FlSimulator() = default;
@@ -128,16 +142,75 @@ fl::Aggregator* FlSimulator::route_to_owner(std::uint64_t entity) {
 }
 
 fl::ClientRuntime& FlSimulator::runtime_for(std::size_t device) {
-  DeviceState& state = devices_.at(device);
-  if (!state.runtime) {
-    const DeviceProfile& profile = population_->device(device);
+  std::unique_ptr<fl::ClientRuntime>& slot =
+      runtimes_[static_cast<std::uint64_t>(device)];
+  if (!slot) {
+    const DeviceProfile profile = population_->profile(device);
     fl::ExampleStore store(
         corpus_->client_dataset(profile.id, profile.num_examples),
         /*max_retained_examples=*/10000);
-    state.runtime =
-        std::make_unique<fl::ClientRuntime>(profile.id, std::move(store));
+    slot = std::make_unique<fl::ClientRuntime>(profile.id, std::move(store));
   }
-  return *state.runtime;
+  return *slot;
+}
+
+fl::ClientRuntime* FlSimulator::find_runtime(std::size_t device) {
+  const auto it = runtimes_.find(static_cast<std::uint64_t>(device));
+  return it == runtimes_.end() ? nullptr : it->second.get();
+}
+
+std::uint32_t FlSimulator::acquire_slot(std::size_t device) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(part_pool_.size());
+    part_pool_.emplace_back();
+  }
+  part_slot_[device] = slot;
+  Participation& part = part_pool_[slot];
+  part.version_at_join = 0;
+  part.join_time = 0.0;
+  part.exec_time = 0.0;
+  part.pipelined_latency_s = 0.0;
+  part.upload_chunks = 0;
+  part.busy_open = false;
+  part.model_snapshot.clear();
+  return slot;
+}
+
+void FlSimulator::release_slot(std::size_t device) {
+  const std::uint32_t slot = part_slot_[device];
+  // The snapshot's capacity stays with the recycled slot: the pool is sized
+  // by peak concurrency, so this trades O(active x model) bytes for never
+  // reallocating a snapshot buffer after warm-up.
+  part_pool_[slot].model_snapshot.clear();
+  part_slot_[device] = kNoParticipation;
+  free_slots_.push_back(slot);
+}
+
+void FlSimulator::note_participation(const ParticipationRecord& rec) {
+  result_.summary.observe(rec);
+  if (!config_.record_participations) return;
+  const std::size_t cap = config_.metrics.max_participation_records;
+  if (cap == 0) {
+    result_.participations.push_back(rec);
+    return;
+  }
+  // Reservoir sample, Algorithm R: after N offers every record survives
+  // with probability cap/N.  The draw comes from the dedicated
+  // kMetricsSampling stream, never the participation-path streams, so
+  // capping cannot perturb a trajectory.
+  ++reservoir_seen_;
+  if (result_.participations.size() < cap) {
+    result_.participations.push_back(rec);
+    return;
+  }
+  const std::uint64_t victim = metrics_rng_.uniform_int(reservoir_seen_);
+  if (victim < cap) {
+    result_.participations[static_cast<std::size_t>(victim)] = rec;
+  }
 }
 
 void FlSimulator::record_active(double now) {
@@ -153,9 +226,10 @@ void FlSimulator::record_busy(double now) {
 }
 
 void FlSimulator::close_busy(std::size_t device, double now) {
-  DeviceState& state = devices_[device];
-  if (!state.busy_open) return;
-  state.busy_open = false;
+  if (!participating(device)) return;
+  Participation& part = participation(device);
+  if (!part.busy_open) return;
+  part.busy_open = false;
   assert(busy_count_ > 0);
   --busy_count_;
   record_busy(now);
@@ -169,7 +243,7 @@ void FlSimulator::plan_pipeline(std::size_t device, double download,
   // sequential charge uses (split bytes-proportionally across chunks), and
   // serialization is costed deterministically — so the plan consumes no
   // randomness beyond the sequential runtime's.
-  DeviceState& state = devices_[device];
+  Participation& part = participation(device);
   const std::uint64_t wire_bytes =
       fl::serialized_update_bytes(config_.task.model_size);
   const std::uint32_t chunks =
@@ -181,7 +255,7 @@ void FlSimulator::plan_pipeline(std::size_t device, double download,
                        config_.upload_chunk_bytes;
 
   fl::PipelineTimings timings;
-  timings.train_s = state.exec_time;
+  timings.train_s = part.exec_time;
   timings.upload_chunk_s = network_->split_upload_time(upload, chunk_bytes);
   timings.serialize_chunk_s.reserve(chunks);
   for (const std::uint64_t b : chunk_bytes) {
@@ -189,18 +263,18 @@ void FlSimulator::plan_pipeline(std::size_t device, double download,
   }
 
   fl::PipelinedClientSession pipeline(std::move(timings));
-  state.pipelined_latency_s = download + pipeline.finish_time();
-  state.upload_chunks = chunks;
+  part.pipelined_latency_s = download + pipeline.finish_time();
+  part.upload_chunks = chunks;
 
   // Device-busy accounting: the device is busy from join until its
   // pipelined schedule drains (or until the participation ends early).
-  state.busy_open = true;
+  part.busy_open = true;
   ++busy_count_;
   record_busy(queue_.now());
-  const std::uint64_t generation = state.generation;
-  queue_.schedule_in(state.pipelined_latency_s,
+  const auto generation = static_cast<std::uint64_t>(generations_[device]);
+  queue_.schedule_in(part.pipelined_latency_s,
                      [this, device, generation](double t) {
-                       if (devices_[device].generation == generation) {
+                       if (generations_[device] == generation) {
                          close_busy(device, t);
                        }
                      });
@@ -213,8 +287,7 @@ void FlSimulator::schedule_check_in(std::size_t device, double delay) {
 }
 
 void FlSimulator::handle_check_in(std::size_t device, double now) {
-  DeviceState& state = devices_[device];
-  if (state.participating) return;
+  if (participating(device)) return;
 
   const double backoff = streams_.exponential(
       device, StreamPurpose::kCheckInBackoff,
@@ -222,17 +295,26 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
 
   // Device-side eligibility (Sec. 4): idle / charging / unmetered modelled
   // as a Bernoulli availability draw per check-in, plus the participation-
-  // history policy.
-  fl::ClientRuntime& runtime = runtime_for(device);
-  runtime.conditions().idle = !streams_.bernoulli(
+  // history policy.  A device that has never joined has no history and
+  // fresh default conditions, so its eligibility is a pure function of the
+  // idle draw — the overwhelmingly common rejected check-in at
+  // million-device scale never materializes a ClientRuntime (or its
+  // per-client dataset).  Draw order is unchanged in every mode.
+  const bool idle = !streams_.bernoulli(
       device, StreamPurpose::kAvailability, config_.device_unavailable_prob);
-  if (!runtime.check_in_allowed(config_.eligibility, now)) {
+  if (fl::ClientRuntime* runtime = find_runtime(device)) {
+    runtime->conditions().idle = idle;
+    if (!runtime->check_in_allowed(config_.eligibility, now)) {
+      schedule_check_in(device, backoff);
+      return;
+    }
+  } else if (!idle) {
     schedule_check_in(device, backoff);
     return;
   }
 
   // Selection phase (Sec. 6.1): ask the Coordinator for an eligible task.
-  const DeviceProfile& profile = population_->device(device);
+  const DeviceProfile profile = population_->profile(device);
   fl::ClientCapabilities caps{profile.capabilities};
   const auto assignment = coordinator_->assign_client(caps);
   if (!assignment) {
@@ -258,15 +340,13 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   }
 
   // Participation begins: snapshot the model the client downloads.
-  state.participating = true;
-  ++state.generation;
-  state.version_at_join = join.model_version;
-  state.join_time = now;
-  state.pipelined_latency_s = 0.0;
-  state.upload_chunks = 0;
+  Participation& part = part_pool_[acquire_slot(device)];
+  ++generations_[device];
+  part.version_at_join = join.model_version;
+  part.join_time = now;
   const std::vector<float>& model = aggregator->model(assignment->task);
-  state.model_snapshot.assign(model.begin(), model.end());
-  state.exec_time =
+  part.model_snapshot.assign(model.begin(), model.end());
+  part.exec_time =
       streams_.with(device, StreamPurpose::kExecTime, [&](auto& rng) {
         return population_->sample_exec_time(device, rng);
       });
@@ -279,17 +359,17 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
       streams_.with(device, StreamPurpose::kDownloadJitter, [&](auto& rng) {
         return network_->download_time_s(model_bytes_, rng);
       });
-  const std::uint64_t generation = state.generation;
+  const auto generation = static_cast<std::uint64_t>(generations_[device]);
 
   if (streams_.bernoulli(device, StreamPurpose::kDropout,
                          profile.dropout_prob)) {
     // Mid-participation dropout at a uniform point in local training.
     const double when =
         download +
-        streams_.uniform01(device, StreamPurpose::kDropout) * state.exec_time;
+        streams_.uniform01(device, StreamPurpose::kDropout) * part.exec_time;
     if (config_.task.pipelined_clients) {
       // Busy until the dropout ends the participation.
-      state.busy_open = true;
+      part.busy_open = true;
       ++busy_count_;
       record_busy(now);
     }
@@ -312,11 +392,11 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
   // still arrives as one event; per-chunk arrival instants are observable
   // via PipelinedClientSession::upload_completion_times but not scheduled
   // as separate server events.
-  double completion_delay = download + state.exec_time + upload;
+  double completion_delay = download + part.exec_time + upload;
   if (config_.task.pipelined_clients) {
     plan_pipeline(device, download, upload);
     if (config_.task.closed_loop_clients) {
-      completion_delay = state.pipelined_latency_s;
+      completion_delay = part.pipelined_latency_s;
     }
   }
   queue_.schedule_in(completion_delay,
@@ -327,15 +407,12 @@ void FlSimulator::handle_check_in(std::size_t device, double now) {
 
 void FlSimulator::end_participation(std::size_t device, double now,
                                     bool reschedule) {
-  DeviceState& state = devices_[device];
-  if (!state.participating) return;
+  if (!participating(device)) return;
   // A participation that ends before its pipelined schedule drains
   // (dropout, abort, timeout) frees the device now.
   close_busy(device, now);
-  state.participating = false;
-  ++state.generation;  // cancels any in-flight events for this participation
-  state.model_snapshot.clear();
-  state.model_snapshot.shrink_to_fit();
+  ++generations_[device];  // cancels in-flight events for this participation
+  release_slot(device);
   assert(active_count_ > 0);
   --active_count_;
   record_active(now);
@@ -348,41 +425,40 @@ void FlSimulator::end_participation(std::size_t device, double now,
 
 void FlSimulator::handle_dropout(std::size_t device, std::uint64_t generation,
                                  double now) {
-  DeviceState& state = devices_[device];
-  if (!state.participating || state.generation != generation) return;
+  if (!participating(device) || generations_[device] != generation) return;
+  Participation& part = participation(device);
 
-  const DeviceProfile& profile = population_->device(device);
+  const DeviceProfile profile = population_->profile(device);
   if (fl::Aggregator* owner = route_to_owner(device); owner != nullptr) {
     owner->client_failed(config_.task.name, profile.id, now);
   }
 
-  if (config_.record_participations) {
-    ParticipationRecord rec;
-    rec.client_id = profile.id;
-    rec.start_time = state.join_time;
-    rec.exec_time_s = state.exec_time;
-    rec.num_examples = profile.num_examples;
-    rec.dropped_out = true;
-    result_.participations.push_back(rec);
-  }
+  ParticipationRecord rec;
+  rec.client_id = profile.id;
+  rec.start_time = part.join_time;
+  rec.exec_time_s = part.exec_time;
+  rec.num_examples = profile.num_examples;
+  rec.dropped_out = true;
+  note_participation(rec);
   end_participation(device, now, /*reschedule=*/true);
 }
 
 void FlSimulator::handle_completion(std::size_t device,
                                     std::uint64_t generation, double now) {
-  DeviceState& state = devices_[device];
-  if (!state.participating || state.generation != generation) return;
+  if (!participating(device) || generations_[device] != generation) return;
+  Participation& part = participation(device);
 
-  const DeviceProfile& profile = population_->device(device);
+  const DeviceProfile profile = population_->profile(device);
   fl::ClientRuntime& runtime = runtime_for(device);
 
   // Run the actual local training on the snapshot downloaded at join time.
   // The shuffle stream is the kTraining purpose: a per-participation seed
   // expanded through xoshiro (SGD consumes thousands of draws), already
   // schedule-independent in both stream modes.
-  util::Rng train_rng(streams_.training_seed(profile.id, state.generation));
+  util::Rng train_rng(streams_.training_seed(
+      profile.id, static_cast<std::uint64_t>(generations_[device])));
   const fl::LocalTrainingResult training =
-      executor_->train(state.model_snapshot, state.version_at_join, profile.id,
+      executor_->train(part.model_snapshot, part.version_at_join, profile.id,
                        runtime.store(), train_rng);
 
   fl::Aggregator* owner = route_to_owner(device);
@@ -400,7 +476,7 @@ void FlSimulator::handle_completion(std::size_t device,
     const auto secure_report =
         upload ? fl::SecureBufferManager::prepare_report(
                      aggregator.secure_platform(config_.task.name), *upload,
-                     profile.id, state.version_at_join,
+                     profile.id, part.version_at_join,
                      training.update.num_examples,
                      aggregator.secure_update_weight(
                          config_.task.name, training.update.num_examples),
@@ -420,7 +496,8 @@ void FlSimulator::handle_completion(std::size_t device,
     // sequential runtime materializes the full update first.  Both produce
     // bit-identical chunk streams (guarded by tests/pipeline_test.cpp), so
     // the knob cannot change what the server folds.
-    const std::uint64_t upload_session = profile.id ^ state.generation;
+    const std::uint64_t upload_session =
+        profile.id ^ static_cast<std::uint64_t>(generations_[device]);
     fl::ChunkAssembler assembler(upload_session);
     std::uint32_t chunks_sent = 0;
     if (config_.task.pipelined_clients) {
@@ -448,24 +525,24 @@ void FlSimulator::handle_completion(std::size_t device,
     }
     // Ground truth from the bytes actually streamed (the plan in
     // plan_pipeline agrees today, but the wire is authoritative).
-    state.upload_chunks = chunks_sent;
+    part.upload_chunks = chunks_sent;
   }
 
-  if (config_.record_participations) {
+  {
     ParticipationRecord rec;
     rec.client_id = profile.id;
-    rec.start_time = state.join_time;
-    rec.exec_time_s = state.exec_time;
+    rec.start_time = part.join_time;
+    rec.exec_time_s = part.exec_time;
     rec.num_examples = profile.num_examples;
     rec.update_applied = report.outcome == fl::ReportOutcome::kAccepted;
     rec.staleness =
-        aggregator.model_version(config_.task.name) - state.version_at_join;
-    rec.round_latency_s = now - state.join_time;
+        aggregator.model_version(config_.task.name) - part.version_at_join;
+    rec.round_latency_s = now - part.join_time;
     rec.pipelined_latency_s = config_.task.pipelined_clients
-                                  ? state.pipelined_latency_s
+                                  ? part.pipelined_latency_s
                                   : rec.round_latency_s;
-    rec.upload_chunks = state.upload_chunks;
-    result_.participations.push_back(rec);
+    rec.upload_chunks = part.upload_chunks;
+    note_participation(rec);
   }
 
   end_participation(device, now, /*reschedule=*/true);
@@ -498,19 +575,17 @@ void FlSimulator::on_aborted_clients(const std::vector<std::uint64_t>& aborted,
                                      double now) {
   for (const std::uint64_t client_id : aborted) {
     const auto device = static_cast<std::size_t>(client_id);
-    if (device >= devices_.size()) continue;
-    DeviceState& state = devices_[device];
-    if (!state.participating) continue;
-    if (config_.record_participations) {
-      const DeviceProfile& profile = population_->device(device);
-      ParticipationRecord rec;
-      rec.client_id = client_id;
-      rec.start_time = state.join_time;
-      rec.exec_time_s = state.exec_time;
-      rec.num_examples = profile.num_examples;
-      rec.update_applied = false;
-      result_.participations.push_back(rec);
-    }
+    if (device >= part_slot_.size()) continue;
+    if (!participating(device)) continue;
+    const Participation& part = participation(device);
+    const DeviceProfile profile = population_->profile(device);
+    ParticipationRecord rec;
+    rec.client_id = client_id;
+    rec.start_time = part.join_time;
+    rec.exec_time_s = part.exec_time;
+    rec.num_examples = profile.num_examples;
+    rec.update_applied = false;
+    note_participation(rec);
     end_participation(device, now, /*reschedule=*/true);
   }
 }
@@ -557,17 +632,16 @@ void FlSimulator::handle_server_report_tick(double now) {
     const auto expired = aggregator->expire_timeouts(config_.task.name, now);
     for (const std::uint64_t client_id : expired) {
       const auto device = static_cast<std::size_t>(client_id);
-      if (device < devices_.size() && devices_[device].participating) {
-        if (config_.record_participations) {
-          const DeviceProfile& profile = population_->device(device);
-          ParticipationRecord rec;
-          rec.client_id = client_id;
-          rec.start_time = devices_[device].join_time;
-          rec.exec_time_s = devices_[device].exec_time;
-          rec.num_examples = profile.num_examples;
-          rec.dropped_out = true;
-          result_.participations.push_back(rec);
-        }
+      if (device < part_slot_.size() && participating(device)) {
+        const Participation& part = participation(device);
+        const DeviceProfile profile = population_->profile(device);
+        ParticipationRecord rec;
+        rec.client_id = client_id;
+        rec.start_time = part.join_time;
+        rec.exec_time_s = part.exec_time;
+        rec.num_examples = profile.num_examples;
+        rec.dropped_out = true;
+        note_participation(rec);
         end_participation(device, now, /*reschedule=*/true);
       }
     }
@@ -596,7 +670,7 @@ void FlSimulator::stop(double now) {
 
 SimulationResult FlSimulator::run() {
   // Stagger initial device check-ins across one check-in interval.
-  for (std::size_t device = 0; device < devices_.size(); ++device) {
+  for (std::size_t device = 0; device < population_->size(); ++device) {
     schedule_check_in(
         device, streams_.uniform(device, StreamPurpose::kCheckInBackoff, 0.0,
                                  config_.mean_checkin_interval_s));
@@ -615,6 +689,7 @@ SimulationResult FlSimulator::run() {
 
   queue_.run_until(config_.max_sim_time_s, [this] { return stopped_; });
   if (!stopped_) stop(queue_.now());
+  result_.events_processed = queue_.events_processed();
 
   // Final bookkeeping.  After a failover, stats reflect the current owner
   // (counters on the crashed Aggregator died with it).

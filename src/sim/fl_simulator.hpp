@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "fl/aggregator.hpp"
@@ -87,6 +87,30 @@ struct SimulationConfig {
   std::size_t num_selectors = 2;
   std::uint64_t seed = 1;
 
+  /// Event-queue backend (sim/event_queue.hpp): the binary heap (default)
+  /// or the amortized-O(1) calendar queue for million-device populations.
+  /// Pop order is identical either way, so this is a pure perf knob; the
+  /// PAPAYA_EVENT_QUEUE env var overrides it (resolved at construction).
+  EventQueueBackend event_queue = EventQueueBackend::kHeap;
+
+  /// Streaming-metrics memory policy.  Defaults keep the historical
+  /// unlimited recording; million-device runs set caps so results stay
+  /// O(cap) regardless of how many participations the run produces.
+  /// SimulationResult::summary is exact in every case — only the raw
+  /// samples are thinned, and the sampling draws come from their own keyed
+  /// stream (StreamPurpose::kMetricsSampling), so enabling a cap cannot
+  /// change a trajectory.
+  struct MetricsPolicy {
+    /// > 0: keep a uniform reservoir sample (Algorithm R) of at most this
+    /// many ParticipationRecords instead of all of them.  The sample is
+    /// unordered once the cap is hit.
+    std::size_t max_participation_records = 0;
+    /// > 0: cap each TimeSeries via stride-doubling decimation
+    /// (TimeSeries::set_capacity).
+    std::size_t max_timeseries_points = 0;
+  };
+  MetricsPolicy metrics;
+
   /// How participation-path randomness is addressed (sim/streams.hpp).
   /// kSharedLegacy (default) consumes one shared xoshiro in event order —
   /// bit-identical to the pre-stream simulator from the same seed.
@@ -128,7 +152,18 @@ struct SimulationResult {
   /// before its protocol slot closes, so this series sits below
   /// active_clients — the gap is the overlap saving (Fig. 7 extension).
   TimeSeries busy_clients;
+  /// Raw records; the complete set by default, a uniform reservoir sample
+  /// when MetricsPolicy::max_participation_records caps it, empty when
+  /// record_participations is off.  `summary` covers every participation
+  /// regardless.
   std::vector<ParticipationRecord> participations;
+  /// Constant-memory digest of ALL participations (counts, moments, P²
+  /// percentile sketches) — exact even when `participations` is capped or
+  /// disabled.
+  ParticipationSummary summary;
+  /// Discrete events the queue pumped during run() (events/sec numerator
+  /// for bench_macro_population).
+  std::uint64_t events_processed = 0;
 
   double final_eval_loss = 0.0;
   std::vector<float> final_model;
@@ -159,10 +194,17 @@ class FlSimulator {
       std::span<const float> params) const;
 
  private:
-  struct DeviceState {
-    std::unique_ptr<fl::ClientRuntime> runtime;  // lazily materialized
-    std::uint64_t generation = 0;  ///< bumped to cancel in-flight events
-    bool participating = false;
+  // Per-device bookkeeping is SoA and pool-backed so permanent state is 8
+  // bytes per device (a generation counter and a participation-slot index)
+  // — a 10M-device population costs ~80 MB of bookkeeping, not a
+  // DeviceState struct each.  Everything heavier lives only while a device
+  // is actually participating (the pooled Participation below, sized by
+  // peak concurrency) or once it has ever joined (its ClientRuntime, keyed
+  // in a map).
+  static constexpr std::uint32_t kNoParticipation = ~std::uint32_t{0};
+
+  /// State of one in-flight participation, pool-allocated and recycled.
+  struct Participation {
     std::vector<float> model_snapshot;  ///< params downloaded at join
     std::uint64_t version_at_join = 0;
     double join_time = 0.0;
@@ -173,6 +215,15 @@ class FlSimulator {
     std::uint32_t upload_chunks = 0;
     bool busy_open = false;  ///< device counted in the busy series
   };
+
+  bool participating(std::size_t device) const {
+    return part_slot_[device] != kNoParticipation;
+  }
+  Participation& participation(std::size_t device) {
+    return part_pool_[part_slot_[device]];
+  }
+  std::uint32_t acquire_slot(std::size_t device);
+  void release_slot(std::size_t device);
 
   void schedule_check_in(std::size_t device, double delay);
   void handle_check_in(std::size_t device, double now);
@@ -197,8 +248,16 @@ class FlSimulator {
   void close_busy(std::size_t device, double now);
   bool should_stop() const { return stopped_; }
   void stop(double now);
+  /// Fold `rec` into the exact streaming summary, then retain it per the
+  /// record_participations flag and MetricsPolicy cap.
+  void note_participation(const ParticipationRecord& rec);
 
+  /// The device's ClientRuntime, materialized (with its per-client dataset)
+  /// on first use.  find_runtime never materializes — the check-in path
+  /// uses it so the common rejected check-in stays allocation-free at
+  /// million-device scale.
   fl::ClientRuntime& runtime_for(std::size_t device);
+  fl::ClientRuntime* find_runtime(std::size_t device);
 
   SimulationConfig config_;
   SimStreams streams_;
@@ -215,10 +274,16 @@ class FlSimulator {
   std::unique_ptr<fl::Coordinator> coordinator_;
   std::vector<std::unique_ptr<fl::Selector>> selectors_;
 
-  std::vector<DeviceState> devices_;
-  std::map<std::uint64_t, std::size_t> active_by_client_id_;
+  std::vector<std::uint32_t> generations_;  ///< bumped to cancel in-flight events
+  std::vector<std::uint32_t> part_slot_;    ///< kNoParticipation when idle
+  std::vector<Participation> part_pool_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<fl::ClientRuntime>>
+      runtimes_;  ///< only devices that have ever joined
 
   SimulationResult result_;
+  util::StreamRng metrics_rng_;  ///< reservoir draws (kMetricsSampling)
+  std::uint64_t reservoir_seen_ = 0;
   std::unique_ptr<fl::ModelStore> model_store_;
   std::uint64_t last_published_version_ = 0;
   std::uint64_t model_bytes_ = 0;

@@ -1,9 +1,34 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace papaya::sim {
+
+void TimeSeries::add(double t, double v) {
+  // value_at binary-searches `times`; an out-of-order append would silently
+  // corrupt every later lookup.
+  assert((times.empty() || t >= times.back()) &&
+         "TimeSeries::add: appends must be time-monotone");
+  if (capacity_ >= 2) {
+    if (phase_++ % stride_ != 0) return;  // decimated away
+    if (times.size() >= capacity_) {
+      // Keep every second point (the first stays, so the series still
+      // starts at its true start) and double the stride.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < times.size(); i += 2, ++kept) {
+        times[kept] = times[i];
+        values[kept] = values[i];
+      }
+      times.resize(kept);
+      values.resize(kept);
+      stride_ *= 2;
+    }
+  }
+  times.push_back(t);
+  values.push_back(v);
+}
 
 double TimeSeries::value_at(double t) const {
   if (times.empty() || t < times.front()) {
@@ -12,6 +37,34 @@ double TimeSeries::value_at(double t) const {
   const auto it = std::upper_bound(times.begin(), times.end(), t);
   const auto idx = static_cast<std::size_t>(it - times.begin()) - 1;
   return values[idx];
+}
+
+void TimeSeries::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  stride_ = 1;
+  phase_ = 0;
+}
+
+void ParticipationSummary::observe(const ParticipationRecord& rec) {
+  ++records;
+  exec_time_s.add(rec.exec_time_s);
+  exec_p50.add(rec.exec_time_s);
+  exec_p95.add(rec.exec_time_s);
+  exec_p99.add(rec.exec_time_s);
+  if (rec.dropped_out) {
+    ++dropped;
+  } else if (rec.round_latency_s > 0.0) {
+    // Completed participations; aborted ones (server shed the session) have
+    // no protocol-visible latency and are excluded, like dropouts.
+    round_latency_s.add(rec.round_latency_s);
+    latency_p50.add(rec.round_latency_s);
+    latency_p95.add(rec.round_latency_s);
+    latency_p99.add(rec.round_latency_s);
+  }
+  if (rec.update_applied) {
+    ++applied;
+    staleness.add(static_cast<double>(rec.staleness));
+  }
 }
 
 }  // namespace papaya::sim

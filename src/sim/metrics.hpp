@@ -1,25 +1,47 @@
 #pragma once
 // Metrics recording for the evaluation harness.
+//
+// Two memory regimes coexist:
+//  - Full recording (the default): every participation lands in a vector,
+//    every series point is kept.  Exact, and fine up to ~10^5 devices.
+//  - Streaming (million-device runs): ParticipationSummary folds each record
+//    into O(1) counters, running moments, and P² percentile sketches
+//    (util/stats.hpp) the moment it is produced, while the simulator's
+//    MetricsPolicy caps the raw vector (reservoir sample) and each
+//    TimeSeries (stride-doubling decimation).  The summary is always exact
+//    regardless of any cap — only the raw samples are thinned.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/stats.hpp"
+
 namespace papaya::sim {
 
 /// A (time, value) series, e.g. loss vs sim-time or active clients vs time.
+/// Appends must be time-monotone (value_at binary-searches `times`).
 struct TimeSeries {
   std::vector<double> times;
   std::vector<double> values;
 
-  void add(double t, double v) {
-    times.push_back(t);
-    values.push_back(v);
-  }
+  void add(double t, double v);
   std::size_t size() const { return times.size(); }
 
   /// Last value at or before time t (or NaN if none).
   double value_at(double t) const;
+
+  /// Opt-in point cap (>= 2).  When the series fills, every second kept
+  /// point is dropped and the sampling stride doubles, so the series always
+  /// spans the whole run with at most `cap` points and at most a 2x gap
+  /// nonuniformity — deterministic, no RNG.  0 restores unlimited growth.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_ = 0;  ///< 0 = unlimited (legacy)
+  std::size_t stride_ = 1;    ///< keep every stride-th append
+  std::size_t phase_ = 0;     ///< appends seen since capacity was set
 };
 
 /// One client participation, recorded for the Sec. 7.4 fairness analysis
@@ -45,6 +67,26 @@ struct ParticipationRecord {
   double pipelined_latency_s = 0.0;
   /// Chunks the serialized update travelled as.
   std::uint32_t upload_chunks = 0;
+};
+
+/// Constant-memory digest of every ParticipationRecord a run produced —
+/// exact counts and moments, P² sketches for the percentiles.  Fed by the
+/// simulator for *all* participations, including runs where raw record
+/// retention is capped or disabled, so a 10M-participation run still
+/// reports its latency tail.
+struct ParticipationSummary {
+  std::uint64_t records = 0;    ///< every participation observed
+  std::uint64_t dropped = 0;    ///< dropped out mid-participation
+  std::uint64_t applied = 0;    ///< update counted toward a server step
+
+  util::RunningStat exec_time_s;      ///< all records (planned exec time)
+  util::RunningStat round_latency_s;  ///< completed participations only
+  util::RunningStat staleness;        ///< applied updates only
+
+  util::P2Quantile exec_p50{0.50}, exec_p95{0.95}, exec_p99{0.99};
+  util::P2Quantile latency_p50{0.50}, latency_p95{0.95}, latency_p99{0.99};
+
+  void observe(const ParticipationRecord& rec);
 };
 
 }  // namespace papaya::sim

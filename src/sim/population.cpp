@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/streams.hpp"
+
 namespace papaya::sim {
 
 namespace {
@@ -13,6 +15,59 @@ double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
 
 }  // namespace
 
+std::size_t DevicePopulation::example_count_from_quantile(double u,
+                                                          std::size_t lo,
+                                                          std::size_t hi) {
+  const auto range = static_cast<double>(hi - lo + 1);
+  auto bucket = static_cast<std::size_t>(std::floor(u * range));
+  // Half-open buckets: only u == 1.0 exactly lands on `range`, and the top
+  // bucket owns its closed upper edge.  (The old code clamped the final
+  // example count instead, which mapped the same inputs to the same outputs
+  // but left the off-by-one latent for any caller without the clamp.)
+  if (bucket >= static_cast<std::size_t>(range)) {
+    bucket = static_cast<std::size_t>(range) - 1;
+  }
+  return lo + bucket;
+}
+
+DeviceProfile DevicePopulation::profile_from_draws(
+    const PopulationConfig& config, std::uint64_t id, double z_h,
+    double z_mix) {
+  // Gaussian copula: z_h drives hardware slowness; the example draw mixes
+  // z_h (weight rho) with an independent normal so slow devices tend to
+  // have more data.
+  const double rho =
+      std::clamp(config.slowness_example_correlation, -1.0, 1.0);
+  const double z_e = rho * z_h + std::sqrt(1.0 - rho * rho) * z_mix;
+
+  DeviceProfile d;
+  d.id = id;
+  d.hardware_factor =
+      std::exp(config.lognormal_mu + config.lognormal_sigma * z_h);
+  d.num_examples = example_count_from_quantile(phi(z_e), config.min_examples,
+                                               config.max_examples);
+  d.mean_exec_time_s =
+      d.hardware_factor *
+      (config.base_exec_time_s +
+       config.per_example_time_s * static_cast<double>(d.num_examples));
+  d.dropout_prob = config.dropout_prob;
+  return d;
+}
+
+DeviceProfile DevicePopulation::synthesize_keyed(std::size_t i) const {
+  // Keyed synthesis: the profile is a pure function of (seed, i) via the
+  // kProfileSynthesis purpose — the same (root, entity, purpose) hierarchy
+  // the simulator's per-entity streams use, so when population.seed matches
+  // the simulation seed the profile draws slot into that key space.
+  util::StreamRng rng(config_.seed, static_cast<std::uint64_t>(i),
+                      static_cast<std::uint64_t>(
+                          StreamPurpose::kProfileSynthesis));
+  const double z_h = rng.normal();
+  const double z_mix = rng.normal();
+  return profile_from_draws(config_, static_cast<std::uint64_t>(i), z_h,
+                            z_mix);
+}
+
 DevicePopulation::DevicePopulation(const PopulationConfig& config)
     : config_(config) {
   if (config.num_devices == 0) {
@@ -21,41 +76,62 @@ DevicePopulation::DevicePopulation(const PopulationConfig& config)
   if (config.min_examples > config.max_examples) {
     throw std::invalid_argument("DevicePopulation: bad example range");
   }
-  // Profile synthesis runs once, at t = 0, in device-index order — the draw
-  // order is fixed by construction, so it stays on a sequential generator
-  // (the per-entity stream discipline of sim/streams.hpp is for draws whose
-  // timing the event schedule controls).
+  if (config.synthesis == ProfileSynthesis::kKeyedLazy) {
+    return;  // profiles are synthesized on demand, nothing to store
+  }
+  devices_.reserve(config.num_devices);
+  if (config.synthesis == ProfileSynthesis::kKeyedEager) {
+    for (std::size_t i = 0; i < config.num_devices; ++i) {
+      devices_.push_back(synthesize_keyed(i));
+    }
+    return;
+  }
+  // Sequential synthesis runs once, at t = 0, in device-index order — the
+  // draw order is fixed by construction, so it stays on a sequential
+  // generator (the per-entity stream discipline of sim/streams.hpp is for
+  // draws whose timing the event schedule controls), and the committed
+  // goldens pin its output bit for bit.
   // sim-streams-exempt: see above — pre-schedule, fixed-order synthesis.
   util::Rng rng(config.seed ^ 0xd011ceULL);
-  devices_.reserve(config.num_devices);
-  const double rho =
-      std::clamp(config.slowness_example_correlation, -1.0, 1.0);
   for (std::size_t i = 0; i < config.num_devices; ++i) {
-    DeviceProfile d;
-    d.id = i;
-
-    // Gaussian copula: z_h drives hardware slowness; the example draw mixes
-    // z_h (weight rho) with an independent normal so slow devices tend to
-    // have more data.
     const double z_h = rng.normal();
-    const double z_e = rho * z_h + std::sqrt(1.0 - rho * rho) * rng.normal();
-
-    d.hardware_factor =
-        std::exp(config.lognormal_mu + config.lognormal_sigma * z_h);
-    const double u = phi(z_e);
-    d.num_examples = config.min_examples +
-                     static_cast<std::size_t>(std::floor(
-                         u * static_cast<double>(config.max_examples -
-                                                 config.min_examples + 1)));
-    d.num_examples = std::min(d.num_examples, config.max_examples);
-
-    d.mean_exec_time_s =
-        d.hardware_factor *
-        (config.base_exec_time_s +
-         config.per_example_time_s * static_cast<double>(d.num_examples));
-    d.dropout_prob = config.dropout_prob;
-    devices_.push_back(std::move(d));
+    const double z_mix = rng.normal();
+    devices_.push_back(
+        profile_from_draws(config, static_cast<std::uint64_t>(i), z_h, z_mix));
   }
+}
+
+DeviceProfile DevicePopulation::profile(std::size_t i) const {
+  if (lazy()) {
+    if (i >= config_.num_devices) {
+      throw std::out_of_range("DevicePopulation: device index out of range");
+    }
+    return synthesize_keyed(i);
+  }
+  return devices_.at(i);
+}
+
+const DeviceProfile& DevicePopulation::device(std::size_t i) const {
+  if (lazy()) {
+    throw std::logic_error(
+        "DevicePopulation: device() needs eager materialization; "
+        "use profile(i) in kKeyedLazy mode");
+  }
+  return devices_.at(i);
+}
+
+const std::vector<DeviceProfile>& DevicePopulation::devices() const {
+  if (lazy()) {
+    throw std::logic_error(
+        "DevicePopulation: devices() needs eager materialization; "
+        "use profile(i) in kKeyedLazy mode");
+  }
+  return devices_;
+}
+
+double DevicePopulation::mean_exec_time(std::size_t i) const {
+  return lazy() ? synthesize_keyed(i).mean_exec_time_s
+                : devices_.at(i).mean_exec_time_s;
 }
 
 }  // namespace papaya::sim

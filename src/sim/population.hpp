@@ -33,6 +33,21 @@ struct DeviceProfile {
   std::vector<std::string> capabilities;
 };
 
+/// How DeviceProfiles come into being.
+enum class ProfileSynthesis {
+  /// One sequential RNG walks device 0..N-1 at construction — the
+  /// historical behaviour, bit-compatible with every committed golden.
+  kSequentialEager,
+  /// Keyed draws — device i's profile is a pure function of
+  /// (seed, i, StreamPurpose::kProfileSynthesis) — materialized up front.
+  /// Same marginals as sequential mode, different draw values.
+  kKeyedEager,
+  /// Keyed draws, synthesized on demand: no per-device storage at all, so
+  /// a 10M-device population costs O(1) memory.  device()/devices() are
+  /// unavailable; use profile(i).
+  kKeyedLazy,
+};
+
 struct PopulationConfig {
   std::size_t num_devices = 5000;
   /// Log-normal hardware-slowness parameters: median exp(mu), spread sigma.
@@ -53,30 +68,58 @@ struct PopulationConfig {
   /// Per-participation execution-time jitter (log-normal sigma).
   double jitter_sigma = 0.2;
   std::uint64_t seed = 42;
+  ProfileSynthesis synthesis = ProfileSynthesis::kSequentialEager;
 };
 
 class DevicePopulation {
  public:
   explicit DevicePopulation(const PopulationConfig& config);
 
-  std::size_t size() const { return devices_.size(); }
-  const DeviceProfile& device(std::size_t i) const { return devices_.at(i); }
-  const std::vector<DeviceProfile>& devices() const { return devices_; }
+  std::size_t size() const { return config_.num_devices; }
+  bool lazy() const {
+    return config_.synthesis == ProfileSynthesis::kKeyedLazy;
+  }
+
+  /// Device i's profile, in every synthesis mode (synthesized on the spot
+  /// when lazy).  Cheap: a DeviceProfile is a few scalars plus an empty
+  /// capability vector.
+  DeviceProfile profile(std::size_t i) const;
+
+  /// Eager modes only — a lazy population has no stored profiles to
+  /// reference (throws std::logic_error; use profile(i)).
+  const DeviceProfile& device(std::size_t i) const;
+  const std::vector<DeviceProfile>& devices() const;
 
   /// Sample the execution time of one participation of device `i`.  Generic
   /// over the generator so the simulator can draw from the device's own
   /// exec-time stream (sim/streams.hpp) instead of a shared sequence.
   template <class RngT>
   double sample_exec_time(std::size_t i, RngT& rng) const {
-    const DeviceProfile& d = devices_.at(i);
-    return d.mean_exec_time_s * rng.lognormal(0.0, config_.jitter_sigma);
+    return mean_exec_time(i) * rng.lognormal(0.0, config_.jitter_sigma);
   }
+
+  /// Half-open quantile-to-bucket map for the example-count copula draw:
+  /// bucket k (of R = hi - lo + 1) owns exactly u in [k/R, (k+1)/R), and the
+  /// closed edge u == 1.0 (phi saturates in double for z >~ 8.3) belongs to
+  /// the top bucket rather than indexing one past the range.  Exposed for
+  /// the bucket-weight distribution test.
+  static std::size_t example_count_from_quantile(double u, std::size_t lo,
+                                                 std::size_t hi);
 
   const PopulationConfig& config() const { return config_; }
 
  private:
+  DeviceProfile synthesize_keyed(std::size_t i) const;
+  double mean_exec_time(std::size_t i) const;
+  /// The shared copula math: both synthesis paths feed their two standard
+  /// normals through this, so mode differences are confined to where the
+  /// draws come from.
+  static DeviceProfile profile_from_draws(const PopulationConfig& config,
+                                          std::uint64_t id, double z_h,
+                                          double z_mix);
+
   PopulationConfig config_;
-  std::vector<DeviceProfile> devices_;
+  std::vector<DeviceProfile> devices_;  ///< empty in kKeyedLazy mode
 };
 
 }  // namespace papaya::sim

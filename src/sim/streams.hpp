@@ -19,8 +19,10 @@
 // existing trajectories; closed-loop scheduling requires (and forces)
 // per-entity streams.
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -43,6 +45,9 @@ enum class StreamPurpose : std::uint64_t {
   kFsmAction = 9,    ///< per-step transition choice in fsm::run_workload
   kFsmPayload = 10,  ///< state-action draws (weights, deltas, picks)
   kFsmScenario = 11, ///< scenario injection (availability, byzantine flips)
+  // Million-device scale-out (lazy materialization + streaming metrics).
+  kProfileSynthesis = 12,  ///< DevicePopulation keyed profile draws
+  kMetricsSampling = 13,   ///< reservoir sampling of participation records
 };
 
 enum class RngStreamMode {
@@ -61,7 +66,22 @@ class SimStreams {
   static constexpr std::uint64_t kServerEntity = ~0ULL;
 
   SimStreams(std::uint64_t root_seed, RngStreamMode mode)
-      : mode_(mode), root_(root_seed), shared_(root_seed ^ 0x51713ULL) {}
+      : SimStreams(root_seed, mode, /*dense_entities=*/0) {}
+
+  /// `dense_entities` enables the dense-counter representation for entities
+  /// with id < dense_entities: instead of materializing a StreamRng object
+  /// per (entity, purpose) in a hash map (~100 B per pair — hundreds of MB
+  /// at a million devices), with() keeps only a u32 draw counter per entity
+  /// in a lazily-allocated per-purpose array (4 B per entity per touched
+  /// purpose) and reconstructs the StreamRng around it on every call.  The
+  /// draws are bit-identical either way: a StreamRng's i-th output is a
+  /// pure function of (key, i), so (key, counter) is the whole state.
+  SimStreams(std::uint64_t root_seed, RngStreamMode mode,
+             std::size_t dense_entities)
+      : mode_(mode),
+        root_(root_seed),
+        shared_(root_seed ^ 0x51713ULL),
+        dense_entities_(dense_entities) {}
 
   RngStreamMode mode() const { return mode_; }
   bool per_entity() const { return mode_ == RngStreamMode::kPerEntity; }
@@ -73,6 +93,16 @@ class SimStreams {
   auto with(std::uint64_t entity, StreamPurpose purpose, Fn&& fn)
       -> decltype(fn(std::declval<util::Rng&>())) {
     if (mode_ == RngStreamMode::kPerEntity) {
+      const auto purpose_idx = static_cast<std::size_t>(purpose);
+      if (entity < dense_entities_ && purpose_idx < kDensePurposes) {
+        std::uint32_t& counter = dense_counter(entity, purpose_idx);
+        util::StreamRng rng(util::StreamRng::derive_key(
+            root_, entity, static_cast<std::uint64_t>(purpose)));
+        rng.seek(counter);
+        auto result = fn(rng);
+        counter = static_cast<std::uint32_t>(rng.draw_index());
+        return result;
+      }
       return fn(stream(entity, purpose));
     }
     return fn(shared_);
@@ -131,10 +161,24 @@ class SimStreams {
   std::size_t materialized_streams() const { return streams_.size(); }
 
  private:
+  /// Purposes eligible for dense counters (indexed by enum value).  Growing
+  /// the enum past this only means new purposes take the map path.
+  static constexpr std::size_t kDensePurposes = 16;
+
+  std::uint32_t& dense_counter(std::uint64_t entity, std::size_t purpose_idx) {
+    std::vector<std::uint32_t>& counters = dense_[purpose_idx];
+    if (counters.empty()) counters.assign(dense_entities_, 0);
+    return counters[entity];
+  }
+
   RngStreamMode mode_;
   std::uint64_t root_;
   util::Rng shared_;
   std::unordered_map<std::uint64_t, util::StreamRng> streams_;
+  std::size_t dense_entities_ = 0;
+  /// Per-purpose draw counters for dense entities; a purpose's array is
+  /// allocated on its first draw, so untouched purposes cost nothing.
+  std::array<std::vector<std::uint32_t>, kDensePurposes> dense_;
 };
 
 }  // namespace papaya::sim

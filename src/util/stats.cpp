@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -209,6 +210,95 @@ void RunningStat::add(double x) {
   }
   sum_ += x;
   ++n_;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  desired_[0] = 0.0;
+  desired_[1] = 2.0 * q;
+  desired_[2] = 4.0 * q;
+  desired_[3] = 2.0 + 2.0 * q;
+  desired_[4] = 4.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  // Piecewise-parabolic (P²) height adjustment of marker i by +-1 position.
+  const double np = positions_[i + 1] - positions_[i - 1];
+  const double na = positions_[i + 1] - positions_[i];
+  const double nb = positions_[i] - positions_[i - 1];
+  return heights_[i] +
+         d / np *
+             ((nb + d) * (heights_[i + 1] - heights_[i]) / na +
+              (na - d) * (heights_[i] - heights_[i - 1]) / nb);
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return heights_[i] + d * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) positions_[i] = i;
+    }
+    return;
+  }
+  // Locate the cell containing x and update the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+  // Nudge interior markers toward their desired positions, adjusting their
+  // heights parabolically (linearly when the parabola would cross a
+  // neighbour).
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int sign = d >= 1.0 ? 1 : -1;
+      const double candidate = parabolic(i, sign);
+      heights_[i] = (heights_[i - 1] < candidate && candidate < heights_[i + 1])
+                        ? candidate
+                        : linear(i, sign);
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (n_ < 5) {
+    // Exact small-sample quantile over what we have (sorts a 5-element copy).
+    std::vector<double> sorted(heights_, heights_ + n_);
+    std::sort(sorted.begin(), sorted.end());
+    return percentile(sorted, q_ * 100.0);
+  }
+  return heights_[2];
 }
 
 }  // namespace papaya::util

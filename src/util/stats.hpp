@@ -95,4 +95,33 @@ class RunningStat {
   double max_ = 0.0;
 };
 
+/// Streaming single-quantile estimator: the P² algorithm (Jain & Chlamtac,
+/// CACM 1985).  Five markers track the running q-quantile in O(1) memory
+/// and O(1) time per observation — no sample buffer — which is what lets a
+/// 10M-participation simulation report latency percentiles without storing
+/// ten million records (sim/metrics.hpp).  Exact for the first five
+/// observations; a piecewise-parabolic estimate afterwards.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; NaN before the first observation.
+  double value() const;
+  std::size_t count() const { return n_; }
+  double quantile() const { return q_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, int d) const;
+
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};    ///< marker heights q_i
+  double positions_[5] = {0, 1, 2, 3, 4};  ///< actual positions n_i
+  double desired_[5] = {0, 0, 0, 0, 0};    ///< desired positions n'_i
+  double increments_[5] = {0, 0, 0, 0, 0}; ///< dn'_i per observation
+};
+
 }  // namespace papaya::util

@@ -108,6 +108,31 @@ TEST(FsmWorkload, SecAggUnderByzantineFlood) {
   EXPECT_GT(workload.malformed_submitted(), 0u);
 }
 
+TEST(FsmWorkload, EventQueueChurnOnBothBackends) {
+  if (!workload_selected("event_queue_churn")) GTEST_SKIP();
+  // Same interleaving pressure against the reference heap and the calendar
+  // backend: whichever one the ctest leg runs under (TSan included), both
+  // must keep the (time, tie_key) drain order and event conservation.
+  StragglerStormScenario::Config storm_config;
+  storm_config.begin_step = 20;
+  storm_config.end_step = 120;
+  storm_config.every_kth_actor = 2;
+  storm_config.yields = 8;
+  StragglerStormScenario storm(storm_config);
+  for (const auto backend :
+       {sim::EventQueueBackend::kHeap, sim::EventQueueBackend::kCalendar}) {
+    const HarnessOptions options = defaults(505, 4, 160, 40, &storm);
+    EventQueueChurnWorkload workload(options.actors, backend);
+    const HarnessResult result = run_workload(workload, options);
+    EXPECT_TRUE(result.ok())
+        << "backend="
+        << (backend == sim::EventQueueBackend::kHeap ? "heap" : "calendar")
+        << "\n"
+        << result.summary();
+    EXPECT_EQ(result.steps_run, options.steps);
+  }
+}
+
 // ---------------------------------------------------- harness meta-tests --
 
 TEST(FsmWorkload, SameSeedReplaysByteIdenticalStepLog) {

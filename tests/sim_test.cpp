@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <thread>
 
 #include "sim/event_queue.hpp"
@@ -190,6 +192,165 @@ TEST(EventQueue, RunUntilOnEmptyQueueAdvancesToDeadline) {
   EXPECT_TRUE(q.empty());
 }
 
+// ------------------------------------------- Calendar backend equivalence --
+
+TEST(EventQueue, BackendFromEnvParsesAndRejects) {
+  unsetenv("PAPAYA_EVENT_QUEUE");
+  EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kHeap),
+            EventQueueBackend::kHeap);
+  EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kCalendar),
+            EventQueueBackend::kCalendar);
+  setenv("PAPAYA_EVENT_QUEUE", "calendar", 1);
+  EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kHeap),
+            EventQueueBackend::kCalendar);
+  EXPECT_EQ(EventQueue{}.backend(), EventQueueBackend::kCalendar);
+  setenv("PAPAYA_EVENT_QUEUE", "heap", 1);
+  EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kCalendar),
+            EventQueueBackend::kHeap);
+  setenv("PAPAYA_EVENT_QUEUE", "wheel", 1);
+  EXPECT_THROW(event_queue_backend_from_env(EventQueueBackend::kHeap),
+               std::invalid_argument);
+  unsetenv("PAPAYA_EVENT_QUEUE");
+  EXPECT_EQ(EventQueue{}.backend(), EventQueueBackend::kHeap);
+}
+
+TEST(EventQueue, SchedulingInThePastThrowsOnBothBackends) {
+  for (const auto backend :
+       {EventQueueBackend::kHeap, EventQueueBackend::kCalendar}) {
+    EventQueue q(backend);
+    q.schedule_at(5.0, [](double) {});
+    q.step();
+    EXPECT_THROW(q.schedule_at(1.0, [](double) {}), std::invalid_argument);
+    EXPECT_THROW(q.schedule_in(-1.0, [](double) {}), std::invalid_argument);
+    // The rejected calls must not have half-enqueued anything.
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  }
+}
+
+TEST(EventQueue, CalendarPopSequenceMatchesHeapUnderRandomChurn) {
+  // The acceptance bar for the O(1) backend: under randomized interleaved
+  // scheduling and popping — equal-time ties, fractional boundary-hugging
+  // times, far-future sparse stretches, events scheduling events — the
+  // calendar queue must pop the exact same label sequence as the reference
+  // heap.  Both implement the same documented (time, tie_key, seq) total
+  // order, so the sequences are equal by construction or one of them is
+  // broken.
+  util::Rng rng(0xca1e2026ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    EventQueue heap(EventQueueBackend::kHeap);
+    EventQueue calendar(EventQueueBackend::kCalendar);
+    std::vector<int> heap_order, calendar_order;
+    int label = 0;
+    auto schedule_both = [&](double delay, std::uint64_t key) {
+      heap.schedule_at(heap.now() + delay, key,
+                       [&heap_order, label](double) {
+                         heap_order.push_back(label);
+                       });
+      calendar.schedule_at(calendar.now() + delay, key,
+                           [&calendar_order, label](double) {
+                             calendar_order.push_back(label);
+                           });
+      ++label;
+    };
+    for (int round = 0; round < 50; ++round) {
+      const int burst = 1 + static_cast<int>(rng.uniform_int(8));
+      for (int i = 0; i < burst; ++i) {
+        double delay = 0.0;
+        switch (rng.uniform_int(4)) {
+          case 0:  // quantized near delays: heavy equal-time collisions
+            delay = 0.25 * static_cast<double>(rng.uniform_int(8));
+            break;
+          case 1:  // continuous near delays: bucket-boundary huggers
+            delay = rng.uniform(0.0, 4.0);
+            break;
+          case 2:  // mid-range
+            delay = rng.uniform(0.0, 64.0);
+            break;
+          case 3:  // far future: sparse-year jumps and resizes
+            delay = 256.0 + rng.uniform(0.0, 4096.0);
+            break;
+        }
+        schedule_both(delay, rng.uniform_int(4));
+      }
+      // Drain a random prefix from both in lockstep; clocks stay equal, so
+      // the relative delays above land on identical absolute times.
+      const int pops = static_cast<int>(rng.uniform_int(6));
+      for (int i = 0; i < pops; ++i) {
+        const bool heap_popped = heap.step();
+        ASSERT_EQ(heap_popped, calendar.step());
+      }
+      ASSERT_DOUBLE_EQ(heap.now(), calendar.now());
+    }
+    while (heap.step()) {
+    }
+    while (calendar.step()) {
+    }
+    ASSERT_EQ(heap_order, calendar_order) << "trial " << trial;
+    ASSERT_DOUBLE_EQ(heap.now(), calendar.now());
+    EXPECT_EQ(heap.events_processed(), calendar.events_processed());
+  }
+}
+
+TEST(EventQueue, CalendarEqualTimePopOrderIsScheduleRaceIndependent) {
+  // The calendar backend faces the same concurrency contract as the heap:
+  // equal-time events scheduled from racing threads pop in tie-key order,
+  // not arrival order.  (This is also the TSan hammer for the calendar
+  // scheduling path.)
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q(EventQueueBackend::kCalendar);
+    constexpr int kPerThread = 16;
+    std::vector<int> order;
+    auto schedule_keys = [&](int first_key) {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int key = first_key + 2 * i;
+        q.schedule_at(1.0, static_cast<std::uint64_t>(key),
+                      [&order, key](double) { order.push_back(key); });
+      }
+    };
+    std::thread even([&] { schedule_keys(0); });
+    std::thread odd([&] { schedule_keys(1); });
+    even.join();
+    odd.join();
+    while (q.step()) {
+    }
+    std::vector<int> expected(2 * kPerThread);
+    for (int i = 0; i < 2 * kPerThread; ++i) {
+      expected[static_cast<std::size_t>(i)] = i;
+    }
+    ASSERT_EQ(order, expected) << "trial " << trial;
+  }
+}
+
+TEST(EventQueue, CalendarSurvivesResizeChurn) {
+  // Push enough to force doubling resizes, drain to force shrinks, and keep
+  // the order invariant throughout.  Times repeat across waves' offsets so
+  // bucket occupancy is lumpy.
+  EventQueue q(EventQueueBackend::kCalendar);
+  util::Rng rng(77);
+  double last = -1.0;
+  std::size_t popped = 0;
+  std::function<void(double)> check = [&](double t) {
+    EXPECT_GE(t, last);
+    last = t;
+    ++popped;
+  };
+  std::size_t scheduled = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 3000; ++i) {
+      q.schedule_at(q.now() + rng.uniform(0.0, 50.0), check);
+      ++scheduled;
+    }
+    // Partial drain between waves shrinks the ring again.
+    for (int i = 0; i < 2500 && q.step(); ++i) {
+    }
+  }
+  while (q.step()) {
+  }
+  EXPECT_EQ(popped, scheduled);
+  EXPECT_EQ(q.events_processed(), scheduled);
+}
+
 // -------------------------------------------------------------- Population --
 
 PopulationConfig default_population(std::size_t n = 20000) {
@@ -276,6 +437,40 @@ TEST(Population, InvalidConfigThrows) {
   EXPECT_THROW(DevicePopulation{cfg}, std::invalid_argument);
 }
 
+TEST(Population, QuantileMappingIsHalfOpenWithClosedTopEdge) {
+  // Regression for the example-count bucket mapping: u ∈ [k/range,
+  // (k+1)/range) lands in bucket k; only u == 1.0 exactly takes the top
+  // bucket's closed upper edge.
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.0, 3, 6), 3u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.249, 3, 6), 3u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.25, 3, 6), 4u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.5, 3, 6), 5u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.75, 3, 6), 6u);
+  const double just_under_one = std::nextafter(1.0, 0.0);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(just_under_one, 3, 6),
+            6u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(1.0, 3, 6), 6u);
+  // Degenerate single-bucket range.
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(0.0, 5, 5), 5u);
+  EXPECT_EQ(DevicePopulation::example_count_from_quantile(1.0, 5, 5), 5u);
+}
+
+TEST(Population, QuantileMappingDistributesBucketsUniformly) {
+  // Pin the bucket weights: a uniform grid of quantiles must land exactly
+  // evenly across [lo, hi] — the half-open mapping gives every count k the
+  // same probability mass 1/range, including both endpoints.
+  constexpr std::size_t kLo = 2, kHi = 9;  // 8 buckets
+  constexpr std::size_t kGrid = 8000;      // 1000 grid points per bucket
+  std::vector<std::size_t> hits(kHi + 1, 0);
+  for (std::size_t i = 0; i < kGrid; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) / kGrid;
+    ++hits[DevicePopulation::example_count_from_quantile(u, kLo, kHi)];
+  }
+  for (std::size_t k = kLo; k <= kHi; ++k) {
+    EXPECT_EQ(hits[k], kGrid / (kHi - kLo + 1)) << "bucket " << k;
+  }
+}
+
 // ----------------------------------------------------------------- Network --
 
 TEST(Network, LargerTransfersTakeLonger) {
@@ -350,6 +545,58 @@ TEST(TimeSeries, ValueAtReturnsLastValueAtOrBefore) {
   EXPECT_DOUBLE_EQ(ts.value_at(1.0), 10.0);
   EXPECT_DOUBLE_EQ(ts.value_at(3.0), 20.0);
   EXPECT_DOUBLE_EQ(ts.value_at(100.0), 40.0);
+}
+
+TEST(TimeSeries, ValueAtBoundaryCases) {
+  TimeSeries empty;
+  EXPECT_TRUE(std::isnan(empty.value_at(0.0)));
+
+  TimeSeries single;
+  single.add(2.0, 7.0);
+  EXPECT_TRUE(std::isnan(single.value_at(1.999)));
+  EXPECT_DOUBLE_EQ(single.value_at(2.0), 7.0);   // t == times.front()
+  EXPECT_DOUBLE_EQ(single.value_at(1e9), 7.0);   // far past the end
+
+  TimeSeries ts;
+  ts.add(1.0, 1.0);
+  ts.add(1.0, 1.5);  // equal-time appends are legal (monotone, not strict)
+  ts.add(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 1.5);  // latest value at a repeated t
+  EXPECT_DOUBLE_EQ(ts.value_at(3.0), 3.0);  // t == times.back()
+  EXPECT_DOUBLE_EQ(ts.value_at(2.0), 1.5);
+}
+
+TEST(TimeSeries, CappedSeriesDecimatesDeterministically) {
+  // With a capacity the series keeps a stride-decimated prefix-preserving
+  // subsample: bounded memory, first point always retained, still
+  // time-monotone, and value_at keeps working on the survivors.
+  TimeSeries ts;
+  ts.set_capacity(8);
+  for (int i = 0; i < 1000; ++i) {
+    ts.add(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_LE(ts.size(), 8u);
+  EXPECT_GE(ts.size(), 4u);  // halving never drops below cap/2
+  EXPECT_DOUBLE_EQ(ts.times.front(), 0.0);
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_GT(ts.times[i], ts.times[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(ts.value_at(999.0), ts.values.back());
+
+  // Identical input → identical survivors (pure function of the sequence).
+  TimeSeries replay;
+  replay.set_capacity(8);
+  for (int i = 0; i < 1000; ++i) {
+    replay.add(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.times, replay.times);
+  EXPECT_EQ(ts.values, replay.values);
+}
+
+TEST(TimeSeries, UncappedSeriesKeepsEveryPoint) {
+  TimeSeries ts;  // capacity 0 = unlimited (the default)
+  for (int i = 0; i < 100; ++i) ts.add(static_cast<double>(i), 0.0);
+  EXPECT_EQ(ts.size(), 100u);
 }
 
 // -------------------------------------------------------------- Model store --

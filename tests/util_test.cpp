@@ -223,6 +223,61 @@ TEST(Stats, RunningStatTracksMinMaxMean) {
   EXPECT_DOUBLE_EQ(s.mean(), 2.0);
 }
 
+TEST(Stats, P2QuantileIsExactForFewSamples) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+  q.add(5.0);
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+  q.add(1.0);
+  q.add(9.0);
+  // Fewer than 5 observations: value() is the exact percentile of what was
+  // seen so far, same interpolation as util::percentile.
+  EXPECT_DOUBLE_EQ(q.value(), percentile(std::vector<double>{5.0, 1.0, 9.0},
+                                         50.0));
+  EXPECT_EQ(q.count(), 3u);
+  EXPECT_DOUBLE_EQ(q.quantile(), 0.5);
+}
+
+TEST(Stats, P2QuantileTracksUniformStream) {
+  // P² against ground truth on a uniform stream: the sketch holds 5 markers
+  // total, the exact answer needs all 20k samples.
+  Rng rng(404);
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), percentile(xs, 50.0), 1.0);
+  EXPECT_NEAR(p95.value(), percentile(xs, 95.0), 1.0);
+  EXPECT_NEAR(p99.value(), percentile(xs, 99.0), 1.0);
+}
+
+TEST(Stats, P2QuantileTracksHeavyTailedStream) {
+  // The population's exec times are log-normal; the latency sketches must
+  // stay accurate in relative terms on that shape, not just on uniforms.
+  Rng rng(405);
+  P2Quantile p50(0.5), p95(0.95);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(0.0, 1.1);
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+  }
+  EXPECT_NEAR(p50.value(), percentile(xs, 50.0), 0.05 * percentile(xs, 50.0));
+  EXPECT_NEAR(p95.value(), percentile(xs, 95.0), 0.10 * percentile(xs, 95.0));
+}
+
+TEST(Stats, P2QuantileRejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile{0.0}, std::invalid_argument);
+  EXPECT_THROW(P2Quantile{1.0}, std::invalid_argument);
+  EXPECT_THROW(P2Quantile{-0.5}, std::invalid_argument);
+}
+
 TEST(Bytes, RoundTripAllTypes) {
   ByteWriter w;
   w.u8(0xab);
