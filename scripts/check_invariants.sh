@@ -29,10 +29,11 @@
 #      secagg_flood_test must carry the "fsm" ctest label in CMakeLists.txt,
 #      or `ctest -L fsm` (the CI smoke step and the TSan acceptance gate)
 #      silently runs nothing.
-#   8. The committed BENCH_macro_population.json carries the million-device
-#      acceptance artifact: a devices=1000000 row and a peak_rss_mb= line.
-#      A reseed that silently dropped the 1M sweep (quick mode, OOM, a
-#      scoped-down row list) would otherwise go unnoticed.
+#   8. The committed BENCH_macro_population.json carries the scale
+#      acceptance artifacts: a devices=1000000 row, a devices=10000000 row,
+#      and a peak_rss_mb= line.  A reseed that silently dropped a sweep
+#      (quick mode, OOM, a scoped-down row list) would otherwise go
+#      unnoticed.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -136,11 +137,15 @@ step and the TSan gate — would silently skip it)"
   fi
 done
 
-# --- 8. the macro-population baseline keeps its 1M-device artifact ---------
+# --- 8. the macro-population baseline keeps its scale artifacts ------------
 if [[ -f BENCH_macro_population.json ]]; then
-  if ! grep -q 'devices=1000000' BENCH_macro_population.json; then
+  if ! grep -q 'devices=1000000 ' BENCH_macro_population.json; then
     fail "BENCH_macro_population.json has no devices=1000000 row (reseed with \
 scripts/bench.sh macro_population — the full sweep, not PAPAYA_MACRO_QUICK)"
+  fi
+  if ! grep -q 'devices=10000000 ' BENCH_macro_population.json; then
+    fail "BENCH_macro_population.json has no devices=10000000 row (the \
+ten-million-device headline; reseed with scripts/bench.sh macro_population)"
   fi
   if ! grep -q 'peak_rss_mb=' BENCH_macro_population.json; then
     fail "BENCH_macro_population.json has no peak_rss_mb= line (the million-device \

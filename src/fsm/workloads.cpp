@@ -770,7 +770,8 @@ std::vector<StateDef> EventQueueChurnWorkload::states() {
                     transitions});
 
   // Far-future events force the calendar backend through its sparse-year
-  // jump and resize paths.
+  // jump and resize paths, and the wheel backend through its coarse levels
+  // and cascades.
   states.push_back({"far",
                     [this](StepContext& ctx) {
                       const double delay =

@@ -8,13 +8,17 @@
 #include <string>
 #include <utility>
 
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
 namespace papaya::sim {
 namespace {
 
 // Ring sizing: never below kMinBuckets (tiny queues stay tiny), never above
 // kMaxBuckets (a pathological width estimate must not allocate the world).
 constexpr std::size_t kMinBuckets = 8;
-constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 23;
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -29,9 +33,10 @@ EventQueueBackend event_queue_backend_from_env(EventQueueBackend fallback) {
   if (env == nullptr || *env == '\0') return fallback;
   if (std::strcmp(env, "heap") == 0) return EventQueueBackend::kHeap;
   if (std::strcmp(env, "calendar") == 0) return EventQueueBackend::kCalendar;
+  if (std::strcmp(env, "wheel") == 0) return EventQueueBackend::kWheel;
   throw std::invalid_argument(
       std::string("PAPAYA_EVENT_QUEUE: unknown backend '") + env +
-      "' (expected 'heap' or 'calendar')");
+      "' (expected 'heap', 'calendar' or 'wheel')");
 }
 
 EventQueue::EventQueue()
@@ -40,99 +45,166 @@ EventQueue::EventQueue()
 // The explicit ctor honours the requested backend verbatim — no env
 // override.  The env knob acts at the config layer (normalize_config) and
 // on default construction; code that names a backend explicitly (the
-// heap/calendar differential tests, the FSM churn workload) must get
+// heap/calendar/wheel differential tests, the FSM churn workload) must get
 // exactly that backend or the comparisons it makes become vacuous.
 EventQueue::EventQueue(EventQueueBackend backend) : backend_(backend) {}
+
+void EventQueue::insert_sorted(std::vector<Event>& bucket, Event e) {
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), e,
+      [](const Event& a, const Event& b) { return earlier(a, b); });
+  bucket.insert(pos, e);
+}
 
 // ---------------------------------------------------------------------------
 // Calendar backend
 // ---------------------------------------------------------------------------
 
-EventQueue::Calendar::Calendar() : buckets_(kMinBuckets) {}
+EventQueue::Calendar::Calendar()
+    : heads_(kMinBuckets, kNil), mask_(kMinBuckets - 1) {}
 
 std::uint64_t EventQueue::Calendar::virtual_bucket(double time) const {
-  // One shared expression for push and the sparse jump so an event's home
-  // bucket is computed identically everywhere (floating-point division must
-  // not disagree with itself).
+  // One shared expression for push, the year scan and the sparse jump so an
+  // event's home bucket is computed identically everywhere (floating-point
+  // division must not disagree with itself).
   return static_cast<std::uint64_t>(time / width_);
-}
-
-void EventQueue::Calendar::insert_sorted(std::vector<Event>& bucket, Event e) {
-  const auto pos = std::upper_bound(
-      bucket.begin(), bucket.end(), e,
-      [](const Event& a, const Event& b) { return earlier(a, b); });
-  bucket.insert(pos, std::move(e));
 }
 
 void EventQueue::Calendar::push(Event e) {
   const std::uint64_t v = virtual_bucket(e.time);
-  insert_sorted(buckets_[v % buckets_.size()], std::move(e));
+  // Keep the scan invariant `cursor_ <= home(e) for every queued event` on
+  // the push side too: an event may legally arrive with a time below the
+  // current minimum (any t >= the last pop is valid, and the cursor sits at
+  // the minimum's home, not at now's).  Without the pull-back such an event
+  // is stranded — the year scan never looks behind the cursor, so it would
+  // pop arbitrarily late.  The wheel's hint update is this same rule.
+  cursor_ = std::min(cursor_, v);
+  std::uint32_t node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+  } else {
+    node = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  std::uint32_t& head = heads_[v & mask_];
+  slab_[node].e = e;
+  slab_[node].next = head;
+  head = node;
   ++size_;
-  if (size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+  min_cached_ = false;
+  if (size_ > 2 * heads_.size() && heads_.size() < kMaxBuckets) {
     rebuild(size_);
   }
 }
 
-std::size_t EventQueue::Calendar::locate_min() {
-  // Scan one "year" forward from the cursor.  An event qualifies when the
-  // scanned virtual bucket is its home bucket — the same time/width
-  // expression push used, so floating-point rounding at bucket edges can
-  // never disagree with insertion.  Because every queued time is >= the
-  // last popped time (schedule_at enforces when >= now) and virtual_bucket
-  // is monotone in time, the first qualifying event is the global minimum
-  // under the full (time, tie_key, seq) order: bucket fronts are bucket
-  // minima, and any earlier-timed event would live in an earlier-or-equal
-  // virtual bucket already scanned.
-  const std::size_t n = buckets_.size();
+void EventQueue::Calendar::chain_min(std::uint32_t head) {
+  // Unsorted chains: the bucket minimum under the full (time, tie_key,
+  // seq) order is found by a walk.  Expected chain length is O(1) — the
+  // width heuristic keeps mean occupancy near 2 events per non-empty
+  // bucket.
+  min_node_ = head;
+  min_prev_ = kNil;
+  std::uint32_t prev = head;
+  for (std::uint32_t cur = slab_[head].next; cur != kNil;
+       prev = cur, cur = slab_[cur].next) {
+    if (earlier(slab_[cur].e, slab_[min_node_].e)) {
+      min_node_ = cur;
+      min_prev_ = prev;
+    }
+  }
+}
+
+void EventQueue::Calendar::locate_min() {
+  // Scan one "year" forward from the cursor.  A bucket's minimum qualifies
+  // when the scanned virtual bucket is its home bucket — the same
+  // time/width expression push used, so floating-point rounding at bucket
+  // edges can never disagree with insertion.  The scan relies on one
+  // invariant: cursor_ <= home(e) for every queued event.  It is
+  // maintained at every cursor write — push() pulls the cursor back behind
+  // a low arrival, the scan and the sparse jump set it to the located
+  // minimum's home, and rebuild() re-anchors it at the new minimum's home
+  // — so the first qualifying bucket minimum is the global minimum under
+  // the full (time, tie_key, seq) order: virtual_bucket is monotone in
+  // time, so an earlier-timed event would live in an earlier-or-equal
+  // virtual bucket already scanned (where its bucket's minimum would
+  // itself have qualified no later than it).
+  if (min_cached_) return;
+  const std::size_t n = heads_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t v = cursor_ + i;
-    const std::vector<Event>& bucket = buckets_[v % n];
-    if (!bucket.empty() && virtual_bucket(bucket.front().time) == v) {
+    const std::uint32_t head = heads_[v & mask_];
+    if (head == kNil) continue;
+    chain_min(head);
+    if (virtual_bucket(slab_[min_node_].e.time) == v) {
       cursor_ = v;
-      return v % n;
+      min_ring_ = v & mask_;
+      min_cached_ = true;
+      return;
     }
   }
   // Sparse year: nothing within a full ring revolution.  Fall back to a
-  // direct min over bucket fronts and jump the cursor to its bucket — the
+  // direct min over every chain and jump the cursor to its bucket — the
   // classic calendar-queue "empty year" escape hatch.
-  std::size_t best = n;  // sentinel
+  std::uint32_t best = kNil;
+  std::uint32_t best_prev = kNil;
+  std::size_t best_ring = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (buckets_[i].empty()) continue;
-    if (best == n || earlier(buckets_[i].front(), buckets_[best].front())) {
-      best = i;
+    if (heads_[i] == kNil) continue;
+    chain_min(heads_[i]);
+    if (best == kNil || earlier(slab_[min_node_].e, slab_[best].e)) {
+      best = min_node_;
+      best_prev = min_prev_;
+      best_ring = i;
     }
   }
-  cursor_ = virtual_bucket(buckets_[best].front().time);
-  return best;
+  min_node_ = best;
+  min_prev_ = best_prev;
+  min_ring_ = best_ring;
+  min_cached_ = true;
+  cursor_ = virtual_bucket(slab_[best].e.time);
 }
 
 double EventQueue::Calendar::min_time() {
-  return buckets_[locate_min()].front().time;
+  locate_min();
+  return slab_[min_node_].e.time;
 }
 
 EventQueue::Event EventQueue::Calendar::pop_min() {
-  std::vector<Event>& bucket = buckets_[locate_min()];
-  Event e = std::move(bucket.front());
-  bucket.erase(bucket.begin());
+  locate_min();
+  const std::uint32_t node = min_node_;
+  const Event e = slab_[node].e;
+  if (min_prev_ == kNil) {
+    heads_[min_ring_] = slab_[node].next;
+  } else {
+    slab_[min_prev_].next = slab_[node].next;
+  }
+  free_.push_back(node);
   --size_;
-  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4) {
+  min_cached_ = false;
+  if (heads_.size() > kMinBuckets && size_ < heads_.size() / 4) {
     rebuild(kMinBuckets);
   }
   return e;
 }
 
 void EventQueue::Calendar::rebuild(std::size_t min_buckets) {
-  std::vector<Event> all;
-  all.reserve(size_);
+  // Collect the live slots (the slab also holds free slots, so walk the
+  // chains), then relink them under the re-tuned width.  No event moves in
+  // memory and nothing is allocated per event — a rebuild is O(live)
+  // pointer writes.
+  relink_scratch_.clear();
+  relink_scratch_.reserve(size_);
   double lo = 0.0;
   double hi = 0.0;
   bool first = true;
-  for (std::vector<Event>& bucket : buckets_) {
-    for (Event& e : bucket) {
-      if (first || e.time < lo) lo = e.time;
-      if (first || e.time > hi) hi = e.time;
+  for (const std::uint32_t head : heads_) {
+    for (std::uint32_t cur = head; cur != kNil; cur = slab_[cur].next) {
+      const double t = slab_[cur].e.time;
+      if (first || t < lo) lo = t;
+      if (first || t > hi) hi = t;
       first = false;
-      all.push_back(std::move(e));
+      relink_scratch_.push_back(cur);
     }
   }
   // Bucket width ~ 2x the mean inter-event gap (Brown's heuristic): the
@@ -141,19 +213,182 @@ void EventQueue::Calendar::rebuild(std::size_t min_buckets) {
   // simultaneous) keeps a sane width and (b) time/width stays far from
   // uint64 overflow for any simulated horizon.
   double width = 1.0;
-  if (all.size() > 1 && hi > lo) {
-    width = 2.0 * (hi - lo) / static_cast<double>(all.size());
+  if (relink_scratch_.size() > 1 && hi > lo) {
+    width = 2.0 * (hi - lo) / static_cast<double>(relink_scratch_.size());
   }
   width_ = std::max({width, 1e-9, hi * 0x1p-40});
   const std::size_t n = std::min(
       kMaxBuckets, next_pow2(std::max(min_buckets, kMinBuckets)));
-  buckets_.assign(n, {});
-  for (Event& e : all) {
-    insert_sorted(buckets_[virtual_bucket(e.time) % n], std::move(e));
+  heads_.assign(n, kNil);
+  mask_ = n - 1;
+#ifdef __linux__
+  // Million-bucket rings are probed in random order by push and the year
+  // scan; backing the head array with huge pages cuts the TLB cost.
+  // Advisory — a no-op where THP is unavailable.
+  if (n >= (std::size_t{1} << 20)) {
+    madvise(heads_.data(), n * sizeof(heads_[0]), MADV_HUGEPAGE);
   }
-  // Re-anchor the cursor at the priority floor: every live event has
-  // time >= the last popped time, so no event can hide behind it.
+#endif
+  for (const std::uint32_t node : relink_scratch_) {
+    std::uint32_t& head = heads_[virtual_bucket(slab_[node].e.time) & mask_];
+    slab_[node].next = head;
+    head = node;
+  }
+  min_cached_ = false;
+  // Re-anchor the cursor at the current minimum's home.  This is only an
+  // upper bound on where the cursor may sit: a *future* push can still
+  // arrive anywhere in [last-pop, lo) — e.g. the 10M-device seeding loop
+  // rebuilds mid-seed, then later devices draw check-in times below the
+  // min seeded so far — and push() pulls the cursor back when it does.
   cursor_ = first ? 0 : virtual_bucket(std::max(lo, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Wheel backend
+// ---------------------------------------------------------------------------
+
+EventQueue::Wheel::Wheel() : slots_(kLevels * kSlots) {}
+
+void EventQueue::Wheel::place(Event e) {
+  const std::uint64_t v = tick_of(e.time);
+  // Events may legitimately tick before base_: base_ jumps ahead of now()
+  // when a coarse bucket cascades, and a later schedule_at(now + small) is
+  // still valid.  They park in level 0, where the hint + qualification
+  // scan finds them regardless of distance.
+  const std::uint64_t d = v >= base_ ? v - base_ : 0;
+  int level = 0;
+  while (level < kLevels - 1 &&
+         d >= (std::uint64_t{1} << (kSlotBits * (level + 1)))) {
+    ++level;
+  }
+  if (d >= (std::uint64_t{1} << (kSlotBits * kLevels))) {
+    insert_sorted(overflow_, e);
+    return;
+  }
+  const std::uint64_t index = v >> (kSlotBits * static_cast<unsigned>(level));
+  insert_sorted(bucket_at(level, index), e);
+  ++level_size_[static_cast<std::size_t>(level)];
+  hint_[static_cast<std::size_t>(level)] =
+      std::min(hint_[static_cast<std::size_t>(level)], index);
+}
+
+void EventQueue::Wheel::push(Event e) {
+  place(e);
+  ++size_;
+  min_cached_ = false;
+}
+
+std::uint64_t EventQueue::Wheel::level_min_index(int level) {
+  const unsigned shift = kSlotBits * static_cast<unsigned>(level);
+  auto& hint = hint_[static_cast<std::size_t>(level)];
+  // Fast path: one slot revolution forward from the hint, accepting the
+  // first front whose *home* index is the scanned index — the calendar's
+  // year-scan qualification, which makes ring collisions (two indices 256
+  // apart sharing a slot) harmless.  The hint is maintained as a lower
+  // bound on the level's minimum index, so the first qualifying front is
+  // the level minimum: bucket fronts are bucket minima (sorted buckets)
+  // and home index is monotone in time.
+  for (std::uint64_t j = 0; j < kSlots; ++j) {
+    const std::uint64_t u = hint + j;
+    const std::vector<Event>& b = bucket_at(level, u);
+    if (!b.empty() && (tick_of(b.front().time) >> shift) == u) {
+      hint = u;
+      return u;
+    }
+  }
+  // Sparse revolution: the minimum lives more than 256 indices past the
+  // hint.  Direct min over the level's 256 fronts is still exact.
+  const std::vector<Event>* best = nullptr;
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    const std::vector<Event>& b =
+        slots_[static_cast<std::size_t>(level) * kSlots + s];
+    if (b.empty()) continue;
+    if (best == nullptr || earlier(b.front(), best->front())) best = &b;
+  }
+  const std::uint64_t u = tick_of(best->front().time) >> shift;
+  hint = u;
+  return u;
+}
+
+void EventQueue::Wheel::cascade(int level, std::uint64_t index) {
+  if (level == kLevels) {
+    // Overflow prefix: everything homed at the front's 2^32-tick window
+    // drops into the wheel proper.
+    const std::uint64_t u = tick_of(overflow_.front().time) >>
+                            (kSlotBits * static_cast<unsigned>(kLevels));
+    base_ = std::max(base_, u << (kSlotBits * static_cast<unsigned>(kLevels)));
+    std::size_t n = 0;
+    while (n < overflow_.size() &&
+           (tick_of(overflow_[n].time) >>
+            (kSlotBits * static_cast<unsigned>(kLevels))) == u) {
+      ++n;
+    }
+    for (std::size_t i = 0; i < n; ++i) place(overflow_[i]);
+    overflow_.erase(overflow_.begin(),
+                    overflow_.begin() + static_cast<std::ptrdiff_t>(n));
+    return;
+  }
+  // Advancing base_ to the bucket's window start before re-placing
+  // guarantees strict progress: every re-placed event has
+  // tick - base_ < 256^level and therefore lands at a finer level.
+  const unsigned shift = kSlotBits * static_cast<unsigned>(level);
+  base_ = std::max(base_, index << shift);
+  std::vector<Event>& b = bucket_at(level, index);
+  // Home index is monotone in time and the bucket is sorted, so the events
+  // homed at `index` form a prefix (the rest are a ring collision, 256
+  // indices later).
+  std::size_t n = 0;
+  while (n < b.size() && (tick_of(b[n].time) >> shift) == index) ++n;
+  for (std::size_t i = 0; i < n; ++i) place(b[i]);
+  b.erase(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+  level_size_[static_cast<std::size_t>(level)] -= n;
+}
+
+std::uint64_t EventQueue::Wheel::locate_min() {
+  if (min_cached_) return cached_min_;
+  for (;;) {
+    int best_level = -1;
+    std::uint64_t best_index = 0;
+    const Event* best = nullptr;
+    for (int level = 0; level < kLevels; ++level) {
+      if (level_size_[static_cast<std::size_t>(level)] == 0) continue;
+      const std::uint64_t u = level_min_index(level);
+      const Event& front = bucket_at(level, u).front();
+      if (best == nullptr || earlier(front, *best)) {
+        best = &front;
+        best_level = level;
+        best_index = u;
+      }
+    }
+    if (!overflow_.empty() &&
+        (best == nullptr || earlier(overflow_.front(), *best))) {
+      best_level = kLevels;
+    }
+    if (best_level == 0) {
+      min_cached_ = true;
+      cached_min_ = best_index;
+      return best_index;
+    }
+    // The minimum sits in a coarse bucket (or the overflow list): cascade
+    // it one granularity step and look again.  Each iteration strictly
+    // lowers the minimum's level, so this loop runs at most kLevels times.
+    cascade(best_level, best_index);
+  }
+}
+
+double EventQueue::Wheel::min_time() {
+  return bucket_at(0, locate_min()).front().time;
+}
+
+EventQueue::Event EventQueue::Wheel::pop_min() {
+  std::vector<Event>& b = bucket_at(0, locate_min());
+  Event e = b.front();
+  b.erase(b.begin());
+  --level_size_[0];
+  --size_;
+  base_ = std::max(base_, tick_of(e.time));
+  min_cached_ = false;
+  return e;
 }
 
 // ---------------------------------------------------------------------------
@@ -161,28 +396,80 @@ void EventQueue::Calendar::rebuild(std::size_t min_buckets) {
 // ---------------------------------------------------------------------------
 
 void EventQueue::push_locked(Event e) {
-  if (backend_ == EventQueueBackend::kHeap) {
-    heap_.push(std::move(e));
-  } else {
-    calendar_.push(std::move(e));
+  switch (backend_) {
+    case EventQueueBackend::kHeap: heap_.push(e); break;
+    case EventQueueBackend::kCalendar: calendar_.push(e); break;
+    case EventQueueBackend::kWheel: wheel_.push(e); break;
   }
 }
 
 EventQueue::Event EventQueue::pop_locked() {
-  if (backend_ == EventQueueBackend::kHeap) {
-    // The event runs outside the lock (it may schedule more events), so it
-    // is moved out first; top() is const-ref only because mutating it would
-    // break the heap order, which pop() discards anyway.
-    Event e = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    return e;
+  switch (backend_) {
+    case EventQueueBackend::kHeap: {
+      Event e = heap_.top();
+      heap_.pop();
+      return e;
+    }
+    case EventQueueBackend::kCalendar: return calendar_.pop_min();
+    case EventQueueBackend::kWheel: return wheel_.pop_min();
   }
-  return calendar_.pop_min();
+  return {};  // unreachable
 }
 
 double EventQueue::top_time_locked() {
-  return backend_ == EventQueueBackend::kHeap ? heap_.top().time
-                                              : calendar_.min_time();
+  switch (backend_) {
+    case EventQueueBackend::kHeap: return heap_.top().time;
+    case EventQueueBackend::kCalendar: return calendar_.min_time();
+    case EventQueueBackend::kWheel: return wheel_.min_time();
+  }
+  return 0.0;  // unreachable
+}
+
+void EventQueue::set_dispatcher(EventDispatchFn fn, void* ctx) {
+  util::LockGuard lock(mutex_);
+  dispatcher_ = fn;
+  dispatcher_ctx_ = ctx;
+}
+
+std::uint32_t EventQueue::acquire_closure_slot(EventFn fn) {
+  if (!free_closure_slots_.empty()) {
+    const std::uint32_t slot = free_closure_slots_.back();
+    free_closure_slots_.pop_back();
+    closure_pool_[slot] = std::move(fn);
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(closure_pool_.size());
+  closure_pool_.push_back(std::move(fn));
+  return slot;
+}
+
+void EventQueue::schedule_event_at(double when, std::uint64_t tie_key,
+                                   EventKind kind, std::uint32_t entity,
+                                   std::uint32_t payload) {
+  if (kind == kClosureKind) {
+    throw std::invalid_argument(
+        "EventQueue: kind 0 is reserved for pooled closures");
+  }
+  util::LockGuard lock(mutex_);
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  push_locked({when, tie_key, (next_seq_++ << 8) | kind, entity, payload});
+}
+
+void EventQueue::schedule_event_in(double delay, std::uint64_t tie_key,
+                                   EventKind kind, std::uint32_t entity,
+                                   std::uint32_t payload) {
+  if (kind == kClosureKind) {
+    throw std::invalid_argument(
+        "EventQueue: kind 0 is reserved for pooled closures");
+  }
+  util::LockGuard lock(mutex_);
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  push_locked(
+      {now_ + delay, tie_key, (next_seq_++ << 8) | kind, entity, payload});
 }
 
 void EventQueue::schedule_at(double when, EventFn fn) {
@@ -195,10 +482,13 @@ void EventQueue::schedule_in(double delay, EventFn fn) {
 
 void EventQueue::schedule_at(double when, std::uint64_t tie_key, EventFn fn) {
   util::LockGuard lock(mutex_);
+  // Validate before acquiring a pool slot so a past-time throw leaks
+  // nothing.
   if (when < now_) {
     throw std::invalid_argument("EventQueue: cannot schedule in the past");
   }
-  push_locked({when, tie_key, next_seq_++, std::move(fn)});
+  const std::uint32_t slot = acquire_closure_slot(std::move(fn));
+  push_locked({when, tie_key, (next_seq_++ << 8) | kClosureKind, 0, slot});
 }
 
 void EventQueue::schedule_in(double delay, std::uint64_t tie_key, EventFn fn) {
@@ -206,22 +496,44 @@ void EventQueue::schedule_in(double delay, std::uint64_t tie_key, EventFn fn) {
   if (delay < 0.0) {
     throw std::invalid_argument("EventQueue: cannot schedule in the past");
   }
-  push_locked({now_ + delay, tie_key, next_seq_++, std::move(fn)});
+  const std::uint32_t slot = acquire_closure_slot(std::move(fn));
+  push_locked(
+      {now_ + delay, tie_key, (next_seq_++ << 8) | kClosureKind, 0, slot});
 }
 
 bool EventQueue::step() {
+  Event e;
   EventFn fn;
-  double time;
+  EventDispatchFn dispatch = nullptr;
+  void* ctx = nullptr;
   {
     util::LockGuard lock(mutex_);
     if (size_locked() == 0) return false;
-    Event e = pop_locked();
-    fn = std::move(e.fn);
-    time = e.time;
-    now_ = time;
+    e = pop_locked();
+    now_ = e.time;
     ++processed_;
+    if (kind_of(e) == kClosureKind) {
+      // Move the closure out and recycle its slot before unlocking: the
+      // closure may schedule more events, and a fresh schedule_at must be
+      // free to reuse the slot immediately.
+      fn = std::move(closure_pool_[e.payload]);
+      closure_pool_[e.payload] = nullptr;
+      free_closure_slots_.push_back(e.payload);
+    } else {
+      dispatch = dispatcher_;
+      ctx = dispatcher_ctx_;
+      if (dispatch == nullptr) {
+        throw std::logic_error(
+            "EventQueue: popped a POD event with no dispatcher registered");
+      }
+    }
   }
-  fn(time);
+  // Event code runs outside the lock — it may schedule more events.
+  if (dispatch != nullptr) {
+    dispatch(ctx, kind_of(e), e.entity, e.payload, e.time);
+  } else {
+    fn(e.time);
+  }
   return true;
 }
 

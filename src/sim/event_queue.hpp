@@ -17,41 +17,82 @@
 // actor index) and the pop order at that timestamp becomes a pure function
 // of the keys.
 //
-// Two backends implement that contract behind the same API:
+// The queued record is a 32-byte POD (`kEventRecordBytes`): time, tie key,
+// and a packed seq+kind word, plus a 32-bit entity id and a 32-bit scalar
+// payload.  Million-device runs schedule tens of millions of events; at
+// that scale the event record *is* the queue's memory footprint, and a
+// type-erased std::function payload (32 bytes of inline storage plus a
+// heap-allocated closure for anything capturing more than one pointer)
+// dominated both bytes/event and allocator time.  Two scheduling surfaces
+// sit on the slim record:
+//
+//   - schedule_event_at/in: the hot path.  The caller registers one
+//     dispatcher (set_dispatcher) per queue — a plain function pointer plus
+//     context — and schedules (kind, entity, payload) triples.  Nothing is
+//     allocated per event, ever (verified by tests/event_engine_test.cpp).
+//   - schedule_at/in (EventFn): the historical closure API, kept for tests,
+//     examples and cold paths.  The closure parks in a pooled slot table
+//     (slots are recycled through a free list, so steady-state closure
+//     traffic allocates only when the closure itself captures too much for
+//     std::function's inline storage); the queued record stores the slot
+//     index in `payload` under the reserved kind 0.
+//
+// Three backends implement the same pop-order contract behind one API:
 //
 //   kHeap      std::priority_queue.  O(log n) per op; the historical
 //              default and the reference for the differential tests.
 //   kCalendar  calendar queue (Brown, CACM 1988).  Amortized O(1) per op:
 //              a power-of-two ring of buckets each spanning `width` seconds
-//              of virtual time; push drops an event into bucket
-//              floor(time/width) mod N, pop scans forward from the current
-//              bucket and accepts the first event inside the bucket's
-//              current "year" window.  The ring doubles/halves (rebuilding
-//              width from the live event span) when the event count crosses
-//              2N / N/4, so bucket occupancy stays O(1).  Because
-//              schedule_at enforces when >= now(), equal-time events always
-//              share a bucket and each bucket is kept sorted by the full
-//              (time, tie_key, seq) order — pop order is *identical* to the
-//              heap's, event for event (proven by differential tests and
-//              the end-to-end trajectory equality in tests/scale_test.cpp).
+//              of virtual time; push links an event into bucket
+//              floor(time/width) mod N, pop scans forward from a cursor and
+//              takes the minimum of the first bucket holding an event in
+//              its current "year" window.  Events live in one flat
+//              free-list slab (intrusive u32 chains, 4 bytes of ring state
+//              per bucket) so push/pop never allocate.  The ring
+//              doubles/halves (rebuilding width from the live event span)
+//              when the event count crosses 2N / N/4, so bucket occupancy
+//              stays O(1).
+//   kWheel     hierarchical timing wheel (Varghese & Lauck, SOSP 1987).
+//              4 levels x 256 slots over a fixed 2^-10 s tick; level L
+//              spans 256^L ticks per slot, so the wheel covers ~2^32 ticks
+//              (~48 days of virtual time) before spilling to a sorted
+//              overflow list.  Pushes append into the slot of the event's
+//              tick at the coarsest level that still resolves it; pops
+//              cascade the minimum's coarse bucket down one level at a time
+//              until the minimum sits in level 0.  No width estimation and
+//              no global rebuilds — the tick is a power of two, so bucket
+//              indexing is exact in floating point — at the cost of a
+//              fixed granularity the calendar tunes adaptively.
+//
+// Because schedule_at enforces when >= now(), equal-time events always
+// share a bucket on every backend, and every backend selects within a
+// bucket by the full (time, tie_key, seq) comparator — the wheel keeps its
+// buckets sorted, the calendar walks its unsorted chains for the exact
+// minimum — so pop order is *identical* across the three backends, event
+// for event (proven by differential tests and the end-to-end trajectory
+// equality in tests/scale_test.cpp).
 //
 // The backend is chosen per queue at construction.  The PAPAYA_EVENT_QUEUE
-// environment variable ("heap" / "calendar") overrides the *default*: it is
-// consulted by the default ctor and by FlSimulator's config normalization,
-// so whole test suites and benches can be rerun on the calendar backend
-// without an edit.  The explicit EventQueue(backend) ctor honours its
-// argument verbatim — differential tests that pin both backends must mean
-// what they say even under the env knob.
+// environment variable ("heap" / "calendar" / "wheel") overrides the
+// *default*: it is consulted by the default ctor and by FlSimulator's
+// config normalization, so whole test suites and benches can be rerun on
+// another backend without an edit.  The explicit EventQueue(backend) ctor
+// honours its argument verbatim — differential tests that pin backends
+// must mean what they say even under the env knob.
 //
-// Thread safety: schedule_at/schedule_in and the inspectors may be called
-// concurrently from any thread (internal lock, an independent root in the
-// util/sync.hpp hierarchy — held only around queue bookkeeping, never while
-// an event function runs).  step()/run_until() are single-driver: exactly
-// one thread may pump the queue, as event functions run outside the lock.
+// Thread safety: schedule_* and the inspectors may be called concurrently
+// from any thread (internal lock, an independent root in the util/sync.hpp
+// hierarchy — held only around queue bookkeeping, never while an event
+// function or the dispatcher runs).  step()/run_until() are single-driver:
+// exactly one thread may pump the queue, as event code runs outside the
+// lock.  set_dispatcher must happen before the first step that pops a
+// dispatched event (in practice: at simulator construction).
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "util/sync.hpp"
@@ -60,29 +101,62 @@ namespace papaya::sim {
 
 using EventFn = std::function<void(double now)>;
 
+/// Event kind tag carried by the POD record.  Kind 0 is reserved for the
+/// pooled-closure fallback; callers of schedule_event_* use 1..255.
+using EventKind = std::uint8_t;
+
+/// Per-queue dispatcher for POD events: a plain function pointer (no
+/// std::function — the dispatcher itself must not be a hidden allocation)
+/// invoked outside the queue lock for every popped event with kind != 0.
+using EventDispatchFn = void (*)(void* ctx, EventKind kind,
+                                 std::uint32_t entity, std::uint32_t payload,
+                                 double now);
+
 enum class EventQueueBackend {
   kHeap,      ///< std::priority_queue, O(log n) — historical default
   kCalendar,  ///< calendar queue, amortized O(1) — million-device runs
+  kWheel,     ///< hierarchical timing wheel, amortized O(1), fixed tick
 };
 
-/// Resolve the backend: PAPAYA_EVENT_QUEUE=heap|calendar wins when set
-/// (anything else throws — a typo must not silently fall back), otherwise
-/// `fallback` is returned unchanged.
+/// Resolve the backend: PAPAYA_EVENT_QUEUE=heap|calendar|wheel wins when
+/// set (anything else throws — a typo must not silently fall back),
+/// otherwise `fallback` is returned unchanged.
 EventQueueBackend event_queue_backend_from_env(EventQueueBackend fallback);
 
 class EventQueue {
  public:
+  /// Size of one queued event record.  The macro-population bench budgets
+  /// queue memory as pending * kEventRecordBytes; the static_assert below
+  /// keeps the record honest.
+  static constexpr std::size_t kEventRecordBytes = 32;
+  /// Reserved kind for the pooled-closure fallback path.
+  static constexpr EventKind kClosureKind = 0;
+
   /// Default: heap unless PAPAYA_EVENT_QUEUE overrides.
   EventQueue();
   explicit EventQueue(EventQueueBackend backend);
 
   EventQueueBackend backend() const { return backend_; }
 
-  /// Schedule `fn` at absolute time `when`.  `when < now()` throws
-  /// std::invalid_argument on every backend: a past timestamp would pop
-  /// "before" the current time and silently corrupt clock monotonicity
-  /// (and the calendar backend's bucket-window math additionally relies on
-  /// queued times never preceding the last pop).
+  /// Register the dispatcher for POD events.  One per queue; popping a
+  /// kind != 0 event with no dispatcher registered throws std::logic_error
+  /// from step() — a silent drop would corrupt the simulation.
+  void set_dispatcher(EventDispatchFn fn, void* ctx);
+
+  /// Hot path: schedule a POD event — no allocation, ever.  `kind` must
+  /// not be kClosureKind (0), `when < now()` throws std::invalid_argument
+  /// on every backend: a past timestamp would pop "before" the current
+  /// time and silently corrupt clock monotonicity (and the calendar/wheel
+  /// bucket-window math additionally relies on queued times never
+  /// preceding the last pop).
+  void schedule_event_at(double when, std::uint64_t tie_key, EventKind kind,
+                         std::uint32_t entity, std::uint32_t payload);
+  /// Same, `delay` seconds after now() (negative delay throws).
+  void schedule_event_in(double delay, std::uint64_t tie_key, EventKind kind,
+                         std::uint32_t entity, std::uint32_t payload);
+
+  /// Schedule `fn` at absolute time `when` (the pooled-closure fallback;
+  /// same past-time contract as schedule_event_at).
   void schedule_at(double when, EventFn fn);
   /// Schedule `fn` after `delay` seconds (negative delay throws).
   void schedule_in(double delay, EventFn fn);
@@ -119,63 +193,186 @@ class EventQueue {
   void run_until(double until, const std::function<bool()>& stop = nullptr);
 
  private:
+  // The queued record.  `seq_kind` packs the 56-bit arrival number above
+  // the 8-bit kind: seqs are unique per queue, so comparing seq_kind is
+  // exactly comparing seq (the kind bits can never break a tie), and 2^56
+  // events is ~2000 years of popping at the 10M-device rate.  `payload`
+  // holds the closure-pool slot index when kind == kClosureKind.
   struct Event {
     double time;
-    std::uint64_t tie_key;  // caller-chosen order among simultaneous events
-    std::uint64_t seq;      // arrival FIFO, the final tie-break
-    EventFn fn;
+    std::uint64_t tie_key;   // caller-chosen order among simultaneous events
+    std::uint64_t seq_kind;  // (arrival seq << 8) | kind
+    std::uint32_t entity;
+    std::uint32_t payload;
   };
+  static_assert(sizeof(Event) == kEventRecordBytes,
+                "event record must stay 32 bytes — the macro bench's memory "
+                "budget and the ISSUE acceptance depend on it");
+  static_assert(std::is_trivially_copyable_v<Event>,
+                "event record must be POD: backends memmove it freely");
+
+  static EventKind kind_of(const Event& e) {
+    return static_cast<EventKind>(e.seq_kind & 0xff);
+  }
   static bool earlier(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.tie_key != b.tie_key) return a.tie_key < b.tie_key;
-    return a.seq < b.seq;
+    return a.seq_kind < b.seq_kind;  // == comparing seq: seqs are unique
   }
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       return earlier(b, a);
     }
   };
+  static void insert_sorted(std::vector<Event>& bucket, Event e);
 
   /// Brown's calendar queue.  Not internally locked — EventQueue's mutex
-  /// covers it.  Each bucket is a vector kept ascending by the full event
-  /// order, so bucket fronts are bucket minima and the year scan yields the
-  /// exact global order.
+  /// covers it.
+  ///
+  /// Storage is an intrusive free-list slab, not a vector-of-vectors: all
+  /// events live in one flat Node array and each ring bucket is a 4-byte
+  /// head index into an unsorted singly-linked chain.  At ten million
+  /// pending events this is what makes push O(1) in *allocations*, not
+  /// just comparisons — a sorted-vector bucket design spends most of the
+  /// macro bench inside insert (a malloc for every first-touch bucket, a
+  /// memmove per insert, and ~24 B of vector header per bucket probed in
+  /// random order), while the slab recycles popped slots through a free
+  /// list and keeps the whole ring's occupancy check inside a dense u32
+  /// array.  Buckets are unsorted; pop walks the (O(1) expected length)
+  /// chain for the minimum under the full (time, tie_key, seq) order, so
+  /// the pop order is exactly the sorted-bucket order.
   class Calendar {
    public:
     Calendar();
     void push(Event e);
     Event pop_min();  ///< requires !empty()
-    /// Time of the minimum event (requires !empty()).  Advances the scan
-    /// cursor to the minimum's bucket, so the pop that follows is O(1).
+    /// Time of the minimum event (requires !empty()).  Caches the min's
+    /// location, so the pop that follows does not re-scan.
     double min_time();
     bool empty() const { return size_ == 0; }
     std::size_t size() const { return size_; }
 
    private:
-    std::uint64_t virtual_bucket(double time) const;
-    std::size_t locate_min();  ///< ring index of the min's bucket
-    void insert_sorted(std::vector<Event>& bucket, Event e);
-    void rebuild(std::size_t min_buckets);
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+    struct Node {
+      Event e;
+      std::uint32_t next;
+    };
 
-    std::vector<std::vector<Event>> buckets_;
-    double width_ = 1.0;            ///< seconds of virtual time per bucket
-    std::uint64_t cursor_ = 0;      ///< virtual bucket of the last pop
+    std::uint64_t virtual_bucket(double time) const;
+    void locate_min();  ///< fills min_node_/min_prev_/min_ring_
+    void rebuild(std::size_t min_buckets);
+    /// Walk one bucket chain for its minimum; fills min_node_/min_prev_.
+    void chain_min(std::uint32_t head);
+
+    std::vector<Node> slab_;          ///< stable event storage
+    std::vector<std::uint32_t> free_; ///< recycled slab slots
+    std::vector<std::uint32_t> heads_;  ///< ring: chain head per bucket
+    double width_ = 1.0;        ///< seconds of virtual time per bucket
+    /// Ring mask (heads_.size() - 1; the ring is always a power of two).
+    /// Bucket indexing runs on every push and on every year-scan probe —
+    /// `v & mask_` instead of `v % size()` keeps a hardware divide off the
+    /// pop path.
+    std::size_t mask_ = 0;
+    /// Scan floor: <= the home bucket of every queued event (see
+    /// locate_min for why pop order depends on this invariant).
+    std::uint64_t cursor_ = 0;
     std::size_t size_ = 0;
+    std::vector<std::uint32_t> relink_scratch_;  ///< rebuild work list
+    // Min location cache (valid while min_cached_): min_time() followed by
+    // pop_min() locates once.
+    bool min_cached_ = false;
+    std::uint32_t min_node_ = kNil;
+    std::uint32_t min_prev_ = kNil;  ///< predecessor in chain (kNil: head)
+    std::size_t min_ring_ = 0;       ///< ring index of the min's bucket
+  };
+
+  /// Hierarchical timing wheel.  Not internally locked — EventQueue's
+  /// mutex covers it.  kLevels wheels of kSlots sorted buckets over a
+  /// fixed power-of-two tick: level L's slot spans 256^L ticks, an event
+  /// parks at the coarsest level that still distinguishes it from the
+  /// current base tick, and pop cascades the minimum's coarse bucket down
+  /// (strictly one level or more per cascade) until the minimum sits in
+  /// level 0.  Every bucket is sorted by the full event order and the
+  /// per-level minimum is found with the same home-index qualification
+  /// trick as the calendar's year scan, so pop order is exact.
+  class Wheel {
+   public:
+    Wheel();
+    void push(Event e);
+    Event pop_min();  ///< requires !empty()
+    /// Time of the minimum event (requires !empty()).  Caches the located
+    /// minimum, so the pop that follows is O(1).
+    double min_time();
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+   private:
+    static constexpr int kLevels = 4;
+    static constexpr std::uint64_t kSlotBits = 8;
+    static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+    /// Seconds per level-0 tick.  A power of two, so time/kTick is an
+    /// exact binary scaling — bucket indexing can never round differently
+    /// between push and scan.  2^-10 s ≈ 1 ms resolves distinct check-in
+    /// staggers at 10M devices; 2^32 ticks ≈ 48.5 days of horizon.
+    static constexpr double kTick = 0x1p-10;
+
+    static std::uint64_t tick_of(double time) {
+      return static_cast<std::uint64_t>(time * (1.0 / kTick));
+    }
+    std::vector<Event>& bucket_at(int level, std::uint64_t index) {
+      return slots_[static_cast<std::size_t>(level) * kSlots +
+                    (index & (kSlots - 1))];
+    }
+    void place(Event e);
+    /// Global index of level `level`'s minimum bucket (requires
+    /// level_size_[level] != 0).
+    std::uint64_t level_min_index(int level);
+    /// Cascade bucket `index` of `level` (or the overflow prefix when
+    /// level == kLevels): re-place every event homed at `index` into
+    /// strictly finer levels.
+    void cascade(int level, std::uint64_t index);
+    /// Locate the global minimum, cascading until it sits in level 0.
+    /// Returns the level-0 global index; caches the result.
+    std::uint64_t locate_min();
+
+    std::vector<std::vector<Event>> slots_;  // kLevels * kSlots buckets
+    std::vector<Event> overflow_;            // sorted; > 2^32 ticks out
+    std::array<std::size_t, kLevels> level_size_{};
+    /// Per-level lower bound on the minimum's global index — scan start.
+    /// Init 0 (trivially a lower bound); pushes clamp it down, successful
+    /// scans raise it to the found minimum.
+    std::array<std::uint64_t, kLevels> hint_{};
+    std::uint64_t base_ = 0;  ///< leveling base tick; monotone
+    std::size_t size_ = 0;
+    bool min_cached_ = false;
+    std::uint64_t cached_min_ = 0;  ///< level-0 global index when cached
   };
 
   std::size_t size_locked() const PAPAYA_REQUIRES(mutex_) {
-    return backend_ == EventQueueBackend::kHeap ? heap_.size()
-                                                : calendar_.size();
+    switch (backend_) {
+      case EventQueueBackend::kHeap: return heap_.size();
+      case EventQueueBackend::kCalendar: return calendar_.size();
+      case EventQueueBackend::kWheel: return wheel_.size();
+    }
+    return 0;  // unreachable
   }
   void push_locked(Event e) PAPAYA_REQUIRES(mutex_);
   Event pop_locked() PAPAYA_REQUIRES(mutex_);
   double top_time_locked() PAPAYA_REQUIRES(mutex_);  ///< requires non-empty
+  /// Park `fn` in the closure pool, reusing a free slot when one exists.
+  std::uint32_t acquire_closure_slot(EventFn fn) PAPAYA_REQUIRES(mutex_);
 
   const EventQueueBackend backend_;
   mutable util::Mutex mutex_;
   std::priority_queue<Event, std::vector<Event>, Later> heap_
       PAPAYA_GUARDED_BY(mutex_);
   Calendar calendar_ PAPAYA_GUARDED_BY(mutex_);
+  Wheel wheel_ PAPAYA_GUARDED_BY(mutex_);
+  std::vector<EventFn> closure_pool_ PAPAYA_GUARDED_BY(mutex_);
+  std::vector<std::uint32_t> free_closure_slots_ PAPAYA_GUARDED_BY(mutex_);
+  EventDispatchFn dispatcher_ PAPAYA_GUARDED_BY(mutex_) = nullptr;
+  void* dispatcher_ctx_ PAPAYA_GUARDED_BY(mutex_) = nullptr;
   double now_ PAPAYA_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t next_seq_ PAPAYA_GUARDED_BY(mutex_) = 0;
   std::uint64_t processed_ PAPAYA_GUARDED_BY(mutex_) = 0;

@@ -87,10 +87,11 @@ struct SimulationConfig {
   std::size_t num_selectors = 2;
   std::uint64_t seed = 1;
 
-  /// Event-queue backend (sim/event_queue.hpp): the binary heap (default)
-  /// or the amortized-O(1) calendar queue for million-device populations.
-  /// Pop order is identical either way, so this is a pure perf knob; the
-  /// PAPAYA_EVENT_QUEUE env var overrides it (resolved at construction).
+  /// Event-queue backend (sim/event_queue.hpp): the binary heap (default),
+  /// the amortized-O(1) calendar queue for million-device populations, or
+  /// the hierarchical timing wheel.  Pop order is identical across all
+  /// three, so this is a pure perf knob; the PAPAYA_EVENT_QUEUE env var
+  /// overrides it (resolved at construction).
   EventQueueBackend event_queue = EventQueueBackend::kHeap;
 
   /// Streaming-metrics memory policy.  Defaults keep the historical
@@ -203,6 +204,31 @@ class FlSimulator {
   // in a map).
   static constexpr std::uint32_t kNoParticipation = ~std::uint32_t{0};
 
+  /// Event kinds for the POD scheduling path (sim/event_queue.hpp).  Every
+  /// recurring simulation event is one of these — scheduled as a
+  /// (kind, device, generation) triple, no closure, no allocation — and
+  /// dispatch_event below is the queue's single dispatcher.  Kind 0 is the
+  /// queue's reserved pooled-closure kind; the simulator itself schedules
+  /// no closures on its hot path.
+  enum class SimEvent : EventKind {
+    kCheckIn = 1,           ///< entity = device
+    kDropout = 2,           ///< entity = device, payload = generation
+    kCompletion = 3,        ///< entity = device, payload = generation
+    kCloseBusy = 4,         ///< entity = device, payload = generation
+    kReportTick = 5,        ///< server heartbeat/timeout sweep
+    kAggregatorFailure = 6, ///< injected failure (App. E.4)
+  };
+  /// The queue dispatcher: a plain function pointer (ctx = this) fanning
+  /// out to the handle_* methods.  Runs outside the queue lock, exactly
+  /// like the closures it replaced.
+  static void dispatch_event(void* ctx, EventKind kind, std::uint32_t entity,
+                             std::uint32_t payload, double now);
+  /// Schedule one POD simulation event `delay` seconds out (tie_key 0 —
+  /// the same FIFO tie-break the closure path used, so the refactor cannot
+  /// reorder simultaneous events).
+  void schedule_sim_event_in(double delay, SimEvent kind, std::size_t device,
+                             std::uint32_t generation = 0);
+
   /// State of one in-flight participation, pool-allocated and recycled.
   struct Participation {
     std::vector<float> model_snapshot;  ///< params downloaded at join
@@ -216,11 +242,24 @@ class FlSimulator {
     bool busy_open = false;  ///< device counted in the busy series
   };
 
+  /// Per-device bookkeeping, packed into 16 bytes so the rejected check-in
+  /// — the overwhelmingly common event at 10M devices: participation test,
+  /// backoff draw, availability draw — touches exactly one cache line.
+  /// The two SimStreams counters are routed here via bind_dense_counters
+  /// (draw values are bit-identical to the unpacked layout).
+  struct DeviceRecord {
+    std::uint32_t part_slot = kNoParticipation;  ///< kNoParticipation = idle
+    std::uint32_t generation = 0;  ///< bumped to cancel in-flight events
+    std::uint32_t checkin_counter = 0;  ///< kCheckInBackoff draw counter
+    std::uint32_t avail_counter = 0;    ///< kAvailability draw counter
+  };
+  static_assert(sizeof(DeviceRecord) == 16, "one cache line covers 4 devices");
+
   bool participating(std::size_t device) const {
-    return part_slot_[device] != kNoParticipation;
+    return devices_[device].part_slot != kNoParticipation;
   }
   Participation& participation(std::size_t device) {
-    return part_pool_[part_slot_[device]];
+    return part_pool_[devices_[device].part_slot];
   }
   std::uint32_t acquire_slot(std::size_t device);
   void release_slot(std::size_t device);
@@ -274,8 +313,11 @@ class FlSimulator {
   std::unique_ptr<fl::Coordinator> coordinator_;
   std::vector<std::unique_ptr<fl::Selector>> selectors_;
 
-  std::vector<std::uint32_t> generations_;  ///< bumped to cancel in-flight events
-  std::vector<std::uint32_t> part_slot_;    ///< kNoParticipation when idle
+  std::vector<DeviceRecord> devices_;  ///< packed per-device hot state
+  /// One bit per device: whether runtimes_ holds a ClientRuntime.  1.25 MB
+  /// at 10M devices — cache-resident, so find_runtime answers "never
+  /// joined" (the overwhelming majority at scale) without a hash probe.
+  std::vector<std::uint64_t> has_runtime_;
   std::vector<Participation> part_pool_;
   std::vector<std::uint32_t> free_slots_;
   std::unordered_map<std::uint64_t, std::unique_ptr<fl::ClientRuntime>>

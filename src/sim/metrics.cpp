@@ -64,6 +64,9 @@ void ParticipationSummary::observe(const ParticipationRecord& rec) {
   if (rec.update_applied) {
     ++applied;
     staleness.add(static_cast<double>(rec.staleness));
+    stale_p50.add(static_cast<double>(rec.staleness));
+    stale_p95.add(static_cast<double>(rec.staleness));
+    stale_p99.add(static_cast<double>(rec.staleness));
   }
 }
 

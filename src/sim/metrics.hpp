@@ -85,6 +85,10 @@ struct ParticipationSummary {
 
   util::P2Quantile exec_p50{0.50}, exec_p95{0.95}, exec_p99{0.99};
   util::P2Quantile latency_p50{0.50}, latency_p95{0.95}, latency_p99{0.99};
+  /// Staleness distribution of applied updates (paper Fig. 9 territory):
+  /// exported at any population scale in O(1) memory — the 10M-device
+  /// bench_macro_population rows report these directly.
+  util::P2Quantile stale_p50{0.50}, stale_p95{0.95}, stale_p99{0.99};
 
   void observe(const ParticipationRecord& rec);
 };

@@ -160,12 +160,30 @@ class SimStreams {
   /// pre-materialization discipline against it).
   std::size_t materialized_streams() const { return streams_.size(); }
 
+  /// Route a dense purpose's draw counters into caller-owned storage:
+  /// entity e's counter lives at base[e * stride] (stride in u32 units).
+  /// The simulator binds its check-in purposes into the per-device record
+  /// array so a rejected check-in — two draws against the same device —
+  /// touches one cache line instead of two 40 MB-apart arrays.  Draw
+  /// values are bit-identical to the internal layout: a StreamRng's i-th
+  /// output depends only on (key, counter), never on where the counter is
+  /// stored.  The storage must outlive this SimStreams and cover every
+  /// entity below dense_entities; any counters already accumulated in the
+  /// internal array are NOT migrated, so bind before the first draw.
+  void bind_dense_counters(StreamPurpose purpose, std::uint32_t* base,
+                           std::size_t stride) {
+    const auto idx = static_cast<std::size_t>(purpose);
+    if (idx < kDensePurposes) bound_[idx] = {base, stride};
+  }
+
  private:
   /// Purposes eligible for dense counters (indexed by enum value).  Growing
   /// the enum past this only means new purposes take the map path.
   static constexpr std::size_t kDensePurposes = 16;
 
   std::uint32_t& dense_counter(std::uint64_t entity, std::size_t purpose_idx) {
+    const Binding& bound = bound_[purpose_idx];
+    if (bound.base != nullptr) return bound.base[entity * bound.stride];
     std::vector<std::uint32_t>& counters = dense_[purpose_idx];
     if (counters.empty()) counters.assign(dense_entities_, 0);
     return counters[entity];
@@ -179,6 +197,13 @@ class SimStreams {
   /// Per-purpose draw counters for dense entities; a purpose's array is
   /// allocated on its first draw, so untouched purposes cost nothing.
   std::array<std::vector<std::uint32_t>, kDensePurposes> dense_;
+  /// Caller-owned counter storage (bind_dense_counters); base == nullptr
+  /// means the purpose uses the internal dense_ array above.
+  struct Binding {
+    std::uint32_t* base = nullptr;
+    std::size_t stride = 1;
+  };
+  std::array<Binding, kDensePurposes> bound_{};
 };
 
 }  // namespace papaya::sim

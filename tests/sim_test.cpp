@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <functional>
@@ -208,15 +209,20 @@ TEST(EventQueue, BackendFromEnvParsesAndRejects) {
   EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kCalendar),
             EventQueueBackend::kHeap);
   setenv("PAPAYA_EVENT_QUEUE", "wheel", 1);
+  EXPECT_EQ(event_queue_backend_from_env(EventQueueBackend::kHeap),
+            EventQueueBackend::kWheel);
+  EXPECT_EQ(EventQueue{}.backend(), EventQueueBackend::kWheel);
+  setenv("PAPAYA_EVENT_QUEUE", "splay", 1);
   EXPECT_THROW(event_queue_backend_from_env(EventQueueBackend::kHeap),
                std::invalid_argument);
   unsetenv("PAPAYA_EVENT_QUEUE");
   EXPECT_EQ(EventQueue{}.backend(), EventQueueBackend::kHeap);
 }
 
-TEST(EventQueue, SchedulingInThePastThrowsOnBothBackends) {
+TEST(EventQueue, SchedulingInThePastThrowsOnEveryBackend) {
   for (const auto backend :
-       {EventQueueBackend::kHeap, EventQueueBackend::kCalendar}) {
+       {EventQueueBackend::kHeap, EventQueueBackend::kCalendar,
+        EventQueueBackend::kWheel}) {
     EventQueue q(backend);
     q.schedule_at(5.0, [](double) {});
     q.step();
@@ -228,29 +234,29 @@ TEST(EventQueue, SchedulingInThePastThrowsOnBothBackends) {
   }
 }
 
-TEST(EventQueue, CalendarPopSequenceMatchesHeapUnderRandomChurn) {
-  // The acceptance bar for the O(1) backend: under randomized interleaved
-  // scheduling and popping — equal-time ties, fractional boundary-hugging
-  // times, far-future sparse stretches, events scheduling events — the
-  // calendar queue must pop the exact same label sequence as the reference
-  // heap.  Both implement the same documented (time, tie_key, seq) total
-  // order, so the sequences are equal by construction or one of them is
-  // broken.
+// The acceptance bar for an O(1) backend: under randomized interleaved
+// scheduling and popping — equal-time ties, fractional boundary-hugging
+// times, far-future sparse stretches, events scheduling events — the
+// candidate backend must pop the exact same label sequence as the reference
+// heap.  Both implement the same documented (time, tie_key, seq) total
+// order, so the sequences are equal by construction or one of them is
+// broken.
+void expect_pop_sequence_matches_heap(EventQueueBackend candidate) {
   util::Rng rng(0xca1e2026ULL);
   for (int trial = 0; trial < 10; ++trial) {
     EventQueue heap(EventQueueBackend::kHeap);
-    EventQueue calendar(EventQueueBackend::kCalendar);
-    std::vector<int> heap_order, calendar_order;
+    EventQueue other(candidate);
+    std::vector<int> heap_order, other_order;
     int label = 0;
     auto schedule_both = [&](double delay, std::uint64_t key) {
       heap.schedule_at(heap.now() + delay, key,
                        [&heap_order, label](double) {
                          heap_order.push_back(label);
                        });
-      calendar.schedule_at(calendar.now() + delay, key,
-                           [&calendar_order, label](double) {
-                             calendar_order.push_back(label);
-                           });
+      other.schedule_at(other.now() + delay, key,
+                        [&other_order, label](double) {
+                          other_order.push_back(label);
+                        });
       ++label;
     };
     for (int round = 0; round < 50; ++round) {
@@ -267,7 +273,8 @@ TEST(EventQueue, CalendarPopSequenceMatchesHeapUnderRandomChurn) {
           case 2:  // mid-range
             delay = rng.uniform(0.0, 64.0);
             break;
-          case 3:  // far future: sparse-year jumps and resizes
+          case 3:  // far future: sparse-year jumps, resizes, wheel
+                   // level promotions
             delay = 256.0 + rng.uniform(0.0, 4096.0);
             break;
         }
@@ -278,27 +285,35 @@ TEST(EventQueue, CalendarPopSequenceMatchesHeapUnderRandomChurn) {
       const int pops = static_cast<int>(rng.uniform_int(6));
       for (int i = 0; i < pops; ++i) {
         const bool heap_popped = heap.step();
-        ASSERT_EQ(heap_popped, calendar.step());
+        ASSERT_EQ(heap_popped, other.step());
       }
-      ASSERT_DOUBLE_EQ(heap.now(), calendar.now());
+      ASSERT_DOUBLE_EQ(heap.now(), other.now());
     }
     while (heap.step()) {
     }
-    while (calendar.step()) {
+    while (other.step()) {
     }
-    ASSERT_EQ(heap_order, calendar_order) << "trial " << trial;
-    ASSERT_DOUBLE_EQ(heap.now(), calendar.now());
-    EXPECT_EQ(heap.events_processed(), calendar.events_processed());
+    ASSERT_EQ(heap_order, other_order) << "trial " << trial;
+    ASSERT_DOUBLE_EQ(heap.now(), other.now());
+    EXPECT_EQ(heap.events_processed(), other.events_processed());
   }
 }
 
-TEST(EventQueue, CalendarEqualTimePopOrderIsScheduleRaceIndependent) {
-  // The calendar backend faces the same concurrency contract as the heap:
-  // equal-time events scheduled from racing threads pop in tie-key order,
-  // not arrival order.  (This is also the TSan hammer for the calendar
-  // scheduling path.)
+TEST(EventQueue, CalendarPopSequenceMatchesHeapUnderRandomChurn) {
+  expect_pop_sequence_matches_heap(EventQueueBackend::kCalendar);
+}
+
+TEST(EventQueue, WheelPopSequenceMatchesHeapUnderRandomChurn) {
+  expect_pop_sequence_matches_heap(EventQueueBackend::kWheel);
+}
+
+// The O(1) backends face the same concurrency contract as the heap:
+// equal-time events scheduled from racing threads pop in tie-key order,
+// not arrival order.  (This is also the TSan hammer for each backend's
+// scheduling path.)
+void expect_equal_time_order_race_independent(EventQueueBackend backend) {
   for (int trial = 0; trial < 20; ++trial) {
-    EventQueue q(EventQueueBackend::kCalendar);
+    EventQueue q(backend);
     constexpr int kPerThread = 16;
     std::vector<int> order;
     auto schedule_keys = [&](int first_key) {
@@ -320,6 +335,14 @@ TEST(EventQueue, CalendarEqualTimePopOrderIsScheduleRaceIndependent) {
     }
     ASSERT_EQ(order, expected) << "trial " << trial;
   }
+}
+
+TEST(EventQueue, CalendarEqualTimePopOrderIsScheduleRaceIndependent) {
+  expect_equal_time_order_race_independent(EventQueueBackend::kCalendar);
+}
+
+TEST(EventQueue, WheelEqualTimePopOrderIsScheduleRaceIndependent) {
+  expect_equal_time_order_race_independent(EventQueueBackend::kWheel);
 }
 
 TEST(EventQueue, CalendarSurvivesResizeChurn) {
@@ -349,6 +372,158 @@ TEST(EventQueue, CalendarSurvivesResizeChurn) {
   }
   EXPECT_EQ(popped, scheduled);
   EXPECT_EQ(q.events_processed(), scheduled);
+}
+
+TEST(EventQueue, CalendarGrowBoundaryKeepsOrderAtExactThreshold) {
+  // Regression for the 2N grow rule: walk the pending count right across
+  // the resize thresholds (16 -> rebuild at 17 pushes on the 8-bucket ring,
+  // then again at each doubling) with every event at the *same* timestamp,
+  // the degenerate span that forces the width clamp (hi == lo) down the
+  // std::max({1.0, 1e-9, hi * 2^-40}) path.  Pop order must stay the
+  // documented tie-key order through every rebuild.
+  EventQueue q(EventQueueBackend::kCalendar);
+  constexpr int kEvents = 600;  // crosses 16, 32, 64, 128, 256, 512
+  std::vector<int> order;
+  for (int i = kEvents - 1; i >= 0; --i) {
+    q.schedule_at(1000.0, static_cast<std::uint64_t>(i),
+                  [&order, i](double) { order.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "at pop " << i;
+  }
+}
+
+TEST(EventQueue, CalendarPushBelowRebuildFloorPullsCursorBack) {
+  // Stranded-event regression.  A grow rebuild re-anchors the cursor at
+  // the home bucket of the minimum event present *at rebuild time*, but a
+  // later push may legally arrive earlier than that minimum (any time >=
+  // the last pop is valid — here nothing has popped, so anything >= 0).
+  // Without the push-side cursor pull-back such an event sits behind the
+  // cursor where the year scan never looks, and pops arbitrarily late:
+  // the 10M-device seeding loop rebuilds mid-seed, and every later device
+  // that drew a check-in below the rebuild-time minimum was stranded —
+  // heap and calendar trajectories diverged from the very first pop.
+  EventQueue q(EventQueueBackend::kCalendar);
+  std::vector<double> popped;
+  auto record = [&popped](double t) { popped.push_back(t); };
+  // 17 pushes on the initial 8-bucket ring trigger the grow rebuild; the
+  // degenerate span (hi == lo == 10) clamps the width to 1.0, anchoring
+  // the cursor at virtual bucket 10.
+  for (int i = 0; i < 17; ++i) q.schedule_at(10.0, record);
+  // Home bucket 0 — behind the post-rebuild cursor.  Must still pop first.
+  q.schedule_at(0.5, record);
+  while (q.step()) {
+  }
+  ASSERT_EQ(popped.size(), 18u);
+  EXPECT_DOUBLE_EQ(popped.front(), 0.5);
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_DOUBLE_EQ(popped[i], 10.0) << "at pop " << i;
+  }
+}
+
+TEST(EventQueue, CalendarShrinkBoundaryKeepsOrderAcrossWidthRetune) {
+  // Regression for the N/4 shrink rule: grow the ring with a wide time
+  // span (large width estimate), then drain until size_ < buckets/4 so the
+  // rebuild re-tunes the width from the *surviving* (narrow, far-future)
+  // span.  The pop order across the shrink — where every surviving event's
+  // virtual bucket is recomputed under a new width — must stay global.
+  EventQueue q(EventQueueBackend::kCalendar);
+  util::Rng rng(0x5157ULL);
+  std::vector<double> times;
+  // 200 near events across a wide span (drives width up on grow rebuilds)
+  // and 40 far events packed into a 2-second window (the survivors).
+  for (int i = 0; i < 200; ++i) times.push_back(rng.uniform(0.0, 5000.0));
+  for (int i = 0; i < 40; ++i) times.push_back(9000.0 + rng.uniform(0.0, 2.0));
+  std::vector<double> popped;
+  for (const double t : times) {
+    q.schedule_at(t, [&popped](double at) { popped.push_back(at); });
+  }
+  while (q.step()) {
+  }
+  std::sort(times.begin(), times.end());
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_DOUBLE_EQ(popped[i], times[i]) << "at pop " << i;
+  }
+}
+
+TEST(EventQueue, CalendarBucketEdgeRoundingCannotSplitPushFromScan) {
+  // Bucket-edge FP rounding regression: schedule times that hug bucket
+  // boundaries from both sides at many magnitudes (k*width ± 1 ulp-ish
+  // offsets).  Push and the year scan share one floor(time/width)
+  // expression, so an edge-hugger must never qualify in a different bucket
+  // than it was inserted into — which would either skip it (hang) or pop
+  // it out of order.
+  EventQueue q(EventQueueBackend::kCalendar);
+  std::vector<double> times;
+  for (int k = 1; k <= 64; ++k) {
+    const double edge = static_cast<double>(k);  // initial width_ is 1.0
+    times.push_back(edge);
+    times.push_back(std::nextafter(edge, 0.0));
+    times.push_back(std::nextafter(edge, 1e9));
+    times.push_back(edge * 128.0);  // far enough to cross rebuilt widths
+  }
+  std::vector<double> popped;
+  for (const double t : times) {
+    q.schedule_at(t, [&popped](double at) { popped.push_back(at); });
+  }
+  while (q.step()) {
+  }
+  std::sort(times.begin(), times.end());
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_DOUBLE_EQ(popped[i], times[i]) << "at pop " << i;
+  }
+}
+
+TEST(EventQueue, WheelSurvivesCascadeAndOverflowChurn) {
+  // Wheel-specific shapes: far-future events beyond the 2^32-tick horizon
+  // (the sorted overflow list), coarse-level promotions that cascade back
+  // down as the clock advances, equal-tick collisions inside one level-0
+  // bucket, and near/far interleaving that exercises the post-cascade
+  // "schedule before base" clamp.  Order must stay the full documented
+  // total order throughout.
+  EventQueue q(EventQueueBackend::kWheel);
+  util::Rng rng(0x8ee1ULL);
+  double last = -1.0;
+  std::size_t popped = 0;
+  std::function<void(double)> check = [&](double t) {
+    EXPECT_GE(t, last);
+    last = t;
+    ++popped;
+    if (popped % 7 == 0) {
+      // Events scheduling events just above now: lands before base_ after
+      // a cascade jumped it ahead.
+      q.schedule_at(t + 0.0001, [&](double u) {
+        EXPECT_GE(u, last);
+        last = u;
+        ++popped;
+      });
+    }
+  };
+  std::size_t scheduled = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 500; ++i) {
+      double delay = 0.0;
+      switch (rng.uniform_int(4)) {
+        case 0: delay = rng.uniform(0.0, 0.01); break;        // level 0
+        case 1: delay = rng.uniform(0.0, 50.0); break;        // mid levels
+        case 2: delay = 1e5 + rng.uniform(0.0, 1e5); break;   // level 3
+        case 3: delay = 5e6 + rng.uniform(0.0, 1e6); break;   // overflow
+      }
+      q.schedule_at(q.now() + delay, check);
+      ++scheduled;
+    }
+    for (int i = 0; i < 400 && q.step(); ++i) {
+    }
+  }
+  while (q.step()) {
+  }
+  EXPECT_GE(popped, scheduled);
+  EXPECT_EQ(q.events_processed(), popped);
 }
 
 // -------------------------------------------------------------- Population --
